@@ -1,0 +1,1039 @@
+//! One experiment per table and figure of the paper's evaluation, plus
+//! the DESIGN.md ablations. Every experiment renders a self-contained
+//! text report ending in paper-vs-measured comparison lines; the
+//! `repro` binary prints them and `EXPERIMENTS.md` records a reference
+//! run.
+
+use crate::context::ReproContext;
+use crate::render::{
+    compare_line, render_cdf, render_cdf_pair, render_class_report, render_confusion, Table,
+};
+use vqoe_core::spec::DatasetSpec;
+use vqoe_core::switch_pipeline::evaluate_switch_detector;
+use vqoe_features::labels::has_switches;
+use vqoe_features::{stall_label, SessionObs, StallClass};
+use vqoe_ml::{cross_validate, Dataset, ForestConfig};
+use vqoe_player::{AbrKind, ContentType, SessionTrace};
+use vqoe_stats::Ecdf;
+
+/// All experiment identifiers, in paper order.
+pub const EXPERIMENTS: [&str; 23] = [
+    "tab1", "fig1", "fig2", "fig3", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "fig4",
+    "fig5", "tab8", "tab9", "tab10", "tab11", "sec56", "ablation-features", "ablation-cusum",
+    "ablation-reassembly", "baseline-binary", "generalization", "obfuscation",
+];
+
+/// Run one experiment by id. Unknown ids return an error string listing
+/// the known ones.
+pub fn run_experiment(id: &str, ctx: &ReproContext) -> String {
+    match id {
+        "tab1" => tab1(),
+        "fig1" => fig1(ctx),
+        "fig2" => fig2(ctx),
+        "fig3" => fig3(ctx),
+        "tab2" => tab2(ctx),
+        "tab3" => tab3(ctx),
+        "tab4" => tab4(ctx),
+        "tab5" => tab5(ctx),
+        "tab6" => tab6(ctx),
+        "tab7" => tab7(ctx),
+        "fig4" => fig4(ctx),
+        "fig5" => fig5(ctx),
+        "tab8" => tab8(ctx),
+        "tab9" => tab9(ctx),
+        "tab10" => tab10(ctx),
+        "tab11" => tab11(ctx),
+        "sec56" => sec56(ctx),
+        "ablation-features" => ablation_features(ctx),
+        "ablation-cusum" => ablation_cusum(ctx),
+        "ablation-reassembly" => ablation_reassembly(ctx),
+        "baseline-binary" => baseline_binary(ctx),
+        "generalization" => generalization(ctx),
+        "obfuscation" => obfuscation(ctx),
+        other => format!(
+            "unknown experiment '{other}'. known: {}\n",
+            EXPERIMENTS.join(", ")
+        ),
+    }
+}
+
+fn header(id: &str, title: &str) -> String {
+    format!("\n=== {id}: {title} ===\n\n")
+}
+
+// ---------------------------------------------------------------- tab1
+
+fn tab1() -> String {
+    let mut out = header("tab1", "metrics extracted from the operator's weblogs");
+    let mut t = Table::new(vec!["Network features (clear + encrypted)", "Ground truth (URIs, cleartext only)"]);
+    let rows = [
+        ("minimum RTT", "chunk resolution (itag)"),
+        ("average RTT", "stall count (playback reports)"),
+        ("maximum RTT", "stall duration (playback reports)"),
+        ("bandwidth-delay product", "video session ID (cpn)"),
+        ("average bytes-in-flight", ""),
+        ("maximum bytes-in-flight", ""),
+        ("% packet loss", ""),
+        ("% packet retransmissions", ""),
+        ("chunk size", ""),
+        ("chunk time", ""),
+    ];
+    for (l, r) in rows {
+        t.row(vec![l, r]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nThe left column is available for every flow; the right column only\n\
+         for cleartext sessions — it is the training-phase ground truth\n\
+         (vqoe_telemetry::groundtruth implements the extraction).\n",
+    );
+    out
+}
+
+// ---------------------------------------------------------------- fig1
+
+/// Find an adaptive session with at least one stall and enough chunks to
+/// show the recovery dynamics.
+fn find_stalled_session(traces: &[SessionTrace]) -> Option<&SessionTrace> {
+    traces
+        .iter()
+        .filter(|t| t.config.delivery.is_adaptive())
+        .filter(|t| t.ground_truth.stall_count() >= 1 && t.chunks.len() >= 24)
+        .max_by_key(|t| t.ground_truth.stall_count())
+}
+
+fn fig1(ctx: &ReproContext) -> String {
+    let mut out = header("fig1", "chunk sizes in a video session with stalls");
+    let Some(session) = find_stalled_session(&ctx.adaptive) else {
+        return out + "no stalled adaptive session in the corpus (increase --sessions)\n";
+    };
+    let t0 = session.config.start_time;
+    let stalls = &session.ground_truth.stalls;
+    let mut t = Table::new(vec!["t (s)", "chunk size (KB)", "", "note"]);
+    for c in session.chunks.iter().filter(|c| c.content_type == ContentType::Video) {
+        let rel = c.arrival_time.duration_since(t0).as_secs_f64();
+        let kb = c.bytes as f64 / 1024.0;
+        let bar = "#".repeat(((kb / 40.0).round() as usize).min(60));
+        let in_recovery = stalls.iter().any(|s| {
+            let s0 = s.start.duration_since(t0).as_secs_f64();
+            let s1 = s0 + s.duration.as_secs_f64();
+            rel >= s0 && rel <= s1 + 10.0
+        });
+        let note = if in_recovery { "<- stall / recovery" } else { "" };
+        t.row(vec![
+            format!("{rel:.1}"),
+            format!("{kb:.0}"),
+            bar,
+            note.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nsession: {} stalls, {:.1}s stalled, RR = {:.3}\n",
+        session.ground_truth.stall_count(),
+        session.ground_truth.total_stall_time().as_secs_f64(),
+        session.ground_truth.rebuffering_ratio()
+    ));
+    out.push_str(&compare_line(
+        "chunk-size collapse at stall, ramp after recovery",
+        "qualitative (Fig. 1)",
+        "visible above",
+    ));
+    out
+}
+
+// ---------------------------------------------------------------- fig2
+
+fn fig2(ctx: &ReproContext) -> String {
+    let mut out = header("fig2", "ECDF of stalls per session and rebuffering ratio");
+    let stall_counts: Vec<f64> = ctx
+        .cleartext
+        .iter()
+        .map(|t| t.ground_truth.stall_count() as f64)
+        .collect();
+    let rr: Vec<f64> = ctx
+        .cleartext
+        .iter()
+        .map(|t| t.ground_truth.rebuffering_ratio())
+        .collect();
+    let n = ctx.cleartext.len() as f64;
+    let with_stalls = stall_counts.iter().filter(|&&c| c > 0.0).count() as f64 / n;
+    let multi = stall_counts.iter().filter(|&&c| c > 1.0).count() as f64 / n;
+    let severe = rr.iter().filter(|&&r| r > 0.1).count() as f64 / n;
+
+    out.push_str(&render_cdf(
+        "ECDF: number of stalls per session",
+        "stalls",
+        &Ecdf::new(&stall_counts).steps(),
+        10,
+    ));
+    out.push('\n');
+    let rr_nonzero: Vec<f64> = rr.iter().copied().filter(|&r| r > 0.0).collect();
+    out.push_str(&render_cdf(
+        "ECDF: rebuffering ratio (sessions with RR > 0)",
+        "RR",
+        &Ecdf::new(&rr_nonzero).steps(),
+        10,
+    ));
+    out.push('\n');
+    out.push_str(&compare_line(
+        "% sessions with >=1 stall",
+        "~12%",
+        &format!("{:.1}%", with_stalls * 100.0),
+    ));
+    out.push_str(&compare_line(
+        "% sessions with >1 stall",
+        "~8%",
+        &format!("{:.1}%", multi * 100.0),
+    ));
+    out.push_str(&compare_line(
+        "% sessions with RR > 0.1 (severe)",
+        "~10% of RR distribution",
+        &format!("{:.1}% of all sessions", severe * 100.0),
+    ));
+    out
+}
+
+// ---------------------------------------------------------------- fig3
+
+fn fig3(ctx: &ReproContext) -> String {
+    let mut out = header("fig3", "Δt and Δsize around a representation switch");
+    // Find a session with a clean up-switch and no stalls.
+    let session = ctx
+        .adaptive
+        .iter()
+        .filter(|t| t.ground_truth.stall_count() == 0 && t.chunks.len() >= 20)
+        .find(|t| {
+            let res = &t.ground_truth.segment_resolutions;
+            res.windows(2).any(|w| w[1] > w[0] && w[0] >= 240)
+        });
+    let Some(session) = session else {
+        return out + "no suitable switching session found (increase --sessions)\n";
+    };
+    let t0 = session.config.start_time;
+    let video: Vec<&vqoe_player::ChunkRecord> = session
+        .chunks
+        .iter()
+        .filter(|c| c.content_type == ContentType::Video)
+        .collect();
+    let mut t = Table::new(vec![
+        "t (s)",
+        "resolution",
+        "size (KB)",
+        "Δt (s)",
+        "Δsize (KB)",
+    ]);
+    for (i, c) in video.iter().enumerate() {
+        let rel = c.arrival_time.duration_since(t0).as_secs_f64();
+        let (dt, dsize) = if i == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                c.arrival_time
+                    .duration_since(video[i - 1].arrival_time)
+                    .as_secs_f64(),
+                (c.bytes as f64 - video[i - 1].bytes as f64).abs() / 1024.0,
+            )
+        };
+        t.row(vec![
+            format!("{rel:.1}"),
+            format!("{}p", c.itag.expect("video chunk").resolution()),
+            format!("{:.0}", c.bytes as f64 / 1024.0),
+            format!("{dt:.2}"),
+            format!("{dsize:.0}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&compare_line(
+        "Δsize and Δt spike at the representation switch",
+        "qualitative (Fig. 3)",
+        "visible above",
+    ));
+    out
+}
+
+// ---------------------------------------------------------------- tab2
+
+fn tab2(ctx: &ReproContext) -> String {
+    let mut out = header("tab2", "stall-model features and information gains");
+    let importance = ctx.stall.model.forest.feature_importance();
+    let mut t = Table::new(vec!["info. gain", "forest MDI", "feature"]);
+    for (i, r) in ctx.stall.selected.iter().enumerate() {
+        t.row(vec![
+            format!("{:.3}", r.gain),
+            format!("{:.3}", importance.get(i).copied().unwrap_or(0.0)),
+            r.name.clone(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\n(info. gain = model-free univariate score, the paper's Table 2 metric;\n\
+         forest MDI = mean decrease in impurity, what the trained forest used)\n\n",
+    );
+    out.push_str(&compare_line(
+        "top features are chunk-size statistics",
+        "chunk size min 0.45, std 0.25",
+        &format!(
+            "{}",
+            ctx.stall
+                .selected
+                .iter()
+                .take(2)
+                .map(|r| format!("{} {:.2}", r.name, r.gain))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    ));
+    out.push_str(&compare_line(
+        "BDP and retransmissions follow",
+        "BDP mean 0.18, retx max 0.12",
+        &format!(
+            "{}",
+            ctx.stall
+                .selected
+                .iter()
+                .filter(|r| r.name.contains("BDP") || r.name.contains("retransmissions"))
+                .take(2)
+                .map(|r| format!("{} {:.2}", r.name, r.gain))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    ));
+    out
+}
+
+// ------------------------------------------------------------ tab3/tab4
+
+fn tab3(ctx: &ReproContext) -> String {
+    let mut out = header("tab3", "stall classifier, 10-fold CV on cleartext");
+    out.push_str(&render_class_report(&ctx.stall.cv_matrix));
+    if let Some(oob) = ctx.stall.model.forest.oob_accuracy {
+        out.push_str(&format!(
+            "\n(out-of-bag accuracy of the deployed forest on its balanced\n\
+             training corpus: {oob:.3})\n"
+        ));
+    }
+    out.push('\n');
+    let counts = &ctx.stall.class_counts;
+    let total: usize = counts.iter().sum();
+    out.push_str(&format!(
+        "corpus: {total} sessions ({} no / {} mild / {} severe)\n\n",
+        counts[0], counts[1], counts[2]
+    ));
+    out.push_str(&compare_line(
+        "overall accuracy",
+        "93.5%",
+        &format!("{:.1}%", ctx.stall.cv_matrix.accuracy() * 100.0),
+    ));
+    out.push_str(&compare_line(
+        "per-class recall ordering",
+        "no 0.977 > mild 0.809 > severe 0.793",
+        &format!(
+            "no {:.3} / mild {:.3} / severe {:.3}",
+            ctx.stall.cv_matrix.tp_rate(0),
+            ctx.stall.cv_matrix.tp_rate(1),
+            ctx.stall.cv_matrix.tp_rate(2)
+        ),
+    ));
+    out
+}
+
+fn tab4(ctx: &ReproContext) -> String {
+    let mut out = header("tab4", "stall detection confusion matrix (CV)");
+    out.push_str(&render_confusion(&ctx.stall.cv_matrix));
+    out.push('\n');
+    let m = &ctx.stall.cv_matrix;
+    let pct = m.row_percentages();
+    out.push_str(&compare_line(
+        "errors concentrate no<->mild and mild<->severe",
+        "no->severe 0.18%, severe->no 4.2%",
+        &format!("no->severe {:.1}%, severe->no {:.1}%", pct[0][2], pct[2][0]),
+    ));
+    out
+}
+
+// ------------------------------------------------------------ tab5..7
+
+fn tab5(ctx: &ReproContext) -> String {
+    let mut out = header("tab5", "average-representation features and gains");
+    let mut t = Table::new(vec!["info. gain", "feature"]);
+    for r in &ctx.representation.selected {
+        t.row(vec![format!("{:.3}", r.gain), r.name.clone()]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    let size_derived = ctx
+        .representation
+        .selected
+        .iter()
+        .filter(|r| r.name.contains("size"))
+        .count();
+    out.push_str(&compare_line(
+        "size-derived features in the subset",
+        "11 of 15 (Table 5)",
+        &format!("{size_derived} of {}", ctx.representation.selected.len()),
+    ));
+    out
+}
+
+fn tab6(ctx: &ReproContext) -> String {
+    let mut out = header("tab6", "average-representation classifier, 10-fold CV");
+    out.push_str(&render_class_report(&ctx.representation.cv_matrix));
+    out.push('\n');
+    let counts = &ctx.representation.class_counts;
+    let total: usize = counts.iter().sum();
+    out.push_str(&format!(
+        "adaptive corpus: {total} sessions ({} LD / {} SD / {} HD; paper 57/38/5%)\n\n",
+        counts[0], counts[1], counts[2]
+    ));
+    out.push_str(&compare_line(
+        "overall accuracy",
+        "84.5%",
+        &format!("{:.1}%", ctx.representation.cv_matrix.accuracy() * 100.0),
+    ));
+    out
+}
+
+fn tab7(ctx: &ReproContext) -> String {
+    let mut out = header("tab7", "average-representation confusion matrix (CV)");
+    out.push_str(&render_confusion(&ctx.representation.cv_matrix));
+    out.push('\n');
+    let pct = ctx.representation.cv_matrix.row_percentages();
+    out.push_str(&compare_line(
+        "SD->LD and HD->SD leakage (mid-session downscales)",
+        "SD->LD 22.7%, HD->SD 18.2%",
+        &format!("SD->LD {:.1}%, HD->SD {:.1}%", pct[1][0], pct[2][1]),
+    ));
+    out
+}
+
+// ---------------------------------------------------------------- fig4
+
+fn fig4(ctx: &ReproContext) -> String {
+    let mut out = header(
+        "fig4",
+        "CDF of σ(CUSUM(Δsize×Δt)) with vs without representation switches",
+    );
+    let a = Ecdf::new(&ctx.switch.scores_without);
+    let b = Ecdf::new(&ctx.switch.scores_with);
+    out.push_str(&render_cdf_pair(
+        "score distributions",
+        "score",
+        "no switches",
+        &a,
+        "with switches",
+        &b,
+        12,
+    ));
+    out.push('\n');
+    out.push_str(&format!(
+        "calibrated threshold: {:.1} (paper's threshold: 500, in its units)\n\n",
+        ctx.switch.detector.threshold
+    ));
+    out.push_str(&compare_line(
+        "no-switch sessions below threshold",
+        "78%",
+        &format!("{:.1}%", ctx.switch.acc_without * 100.0),
+    ));
+    out.push_str(&compare_line(
+        "switch sessions above threshold",
+        "76%",
+        &format!("{:.1}%", ctx.switch.acc_with * 100.0),
+    ));
+    out
+}
+
+// ---------------------------------------------------------------- fig5
+
+fn fig5(ctx: &ReproContext) -> String {
+    let mut out = header(
+        "fig5",
+        "segment size and inter-arrival CDFs: encrypted vs cleartext",
+    );
+    let clear_sizes: Vec<f64> = ctx
+        .cleartext
+        .iter()
+        .flat_map(|t| t.chunks.iter().map(|c| c.bytes as f64 / 1024.0))
+        .collect();
+    let enc_sizes: Vec<f64> = ctx
+        .world
+        .sessions
+        .iter()
+        .flat_map(|s| s.chunks.iter().map(|c| c.bytes as f64 / 1024.0))
+        .collect();
+    let inter = |obs: SessionObs| obs.inter_arrivals();
+    let clear_gaps: Vec<f64> = ctx
+        .cleartext
+        .iter()
+        .flat_map(|t| inter(SessionObs::from_trace(t)))
+        .collect();
+    let enc_gaps: Vec<f64> = ctx
+        .world
+        .sessions
+        .iter()
+        .flat_map(|s| inter(SessionObs::from_reassembled(s)))
+        .collect();
+
+    let size_a = Ecdf::new(&clear_sizes);
+    let size_b = Ecdf::new(&enc_sizes);
+    out.push_str(&render_cdf_pair(
+        "chunk size (KB)",
+        "KB",
+        "cleartext",
+        &size_a,
+        "encrypted",
+        &size_b,
+        12,
+    ));
+    out.push('\n');
+    let gap_a = Ecdf::new(&clear_gaps);
+    let gap_b = Ecdf::new(&enc_gaps);
+    out.push_str(&render_cdf_pair(
+        "chunk inter-arrival time (s)",
+        "s",
+        "cleartext",
+        &gap_a,
+        "encrypted",
+        &gap_b,
+        12,
+    ));
+    out.push('\n');
+    out.push_str(&compare_line(
+        "size distributions largely overlap",
+        "qualitative (Fig. 5 left)",
+        &format!("KS = {:.3}", size_a.ks_distance(&size_b)),
+    ));
+    out.push_str(&compare_line(
+        "encrypted inter-arrivals slightly shorter",
+        "60% of encrypted chunks lower",
+        &format!(
+            "median clear {:.2}s vs encrypted {:.2}s",
+            gap_a.inverse(0.5),
+            gap_b.inverse(0.5)
+        ),
+    ));
+    out
+}
+
+// ------------------------------------------------------------ tab8..11
+
+fn tab8(ctx: &ReproContext) -> String {
+    let mut out = header("tab8", "stall detection on encrypted traffic");
+    let m = ctx.stall.model.evaluate(&ctx.world.stall_eval_dataset());
+    out.push_str(&render_class_report(&m));
+    out.push('\n');
+    out.push_str(&compare_line(
+        "overall accuracy",
+        "91.8% (cleartext − 1.7)",
+        &format!(
+            "{:.1}% (cleartext − {:.1})",
+            m.accuracy() * 100.0,
+            (ctx.stall.cv_matrix.accuracy() - m.accuracy()) * 100.0
+        ),
+    ));
+    out.push_str(&compare_line(
+        "severe class degrades the most",
+        "severe recall 0.656",
+        &format!("severe recall {:.3}", m.tp_rate(2)),
+    ));
+    out
+}
+
+fn tab9(ctx: &ReproContext) -> String {
+    let mut out = header("tab9", "encrypted stall confusion matrix");
+    let m = ctx.stall.model.evaluate(&ctx.world.stall_eval_dataset());
+    out.push_str(&render_confusion(&m));
+    out.push('\n');
+    let pct = m.row_percentages();
+    out.push_str(&compare_line(
+        "severe -> mild inflation",
+        "32.4%",
+        &format!("{:.1}%", pct[2][1]),
+    ));
+    out
+}
+
+fn tab10(ctx: &ReproContext) -> String {
+    let mut out = header("tab10", "average representation on encrypted traffic");
+    let m = ctx
+        .representation
+        .model
+        .evaluate(&ctx.world.representation_eval_dataset());
+    out.push_str(&render_class_report(&m));
+    out.push('\n');
+    out.push_str(&compare_line(
+        "overall accuracy",
+        "81.9% (cleartext − 2.5)",
+        &format!(
+            "{:.1}% (cleartext − {:.1})",
+            m.accuracy() * 100.0,
+            (ctx.representation.cv_matrix.accuracy() - m.accuracy()) * 100.0
+        ),
+    ));
+    out
+}
+
+fn tab11(ctx: &ReproContext) -> String {
+    let mut out = header("tab11", "encrypted average-representation confusion matrix");
+    let m = ctx
+        .representation
+        .model
+        .evaluate(&ctx.world.representation_eval_dataset());
+    out.push_str(&render_confusion(&m));
+    out.push('\n');
+    let pct = m.row_percentages();
+    out.push_str(&compare_line(
+        "LD -> SD shift on the encrypted set",
+        "15.4%",
+        &format!("{:.1}%", pct[0][1]),
+    ));
+    out
+}
+
+// ---------------------------------------------------------------- sec56
+
+fn sec56(ctx: &ReproContext) -> String {
+    let mut out = header(
+        "sec56",
+        "representation-switch detection on encrypted traffic (frozen threshold)",
+    );
+    let eval = evaluate_switch_detector(&ctx.switch.detector, &ctx.world.labelled_switch_sessions());
+    out.push_str(&format!(
+        "frozen threshold {:.1} applied to {} encrypted sessions\n\n",
+        ctx.switch.detector.threshold,
+        eval.n_with + eval.n_without
+    ));
+    out.push_str(&compare_line(
+        "no-switch sessions correctly identified",
+        "76.9% (calibration − 1.1)",
+        &format!(
+            "{:.1}% (calibration − {:.1})",
+            eval.acc_without * 100.0,
+            (ctx.switch.acc_without - eval.acc_without) * 100.0
+        ),
+    ));
+    out.push_str(&compare_line(
+        "switch sessions correctly identified",
+        "71.7% (calibration − 4.3)",
+        &format!(
+            "{:.1}% (calibration − {:.1})",
+            eval.acc_with * 100.0,
+            (ctx.switch.acc_with - eval.acc_with) * 100.0
+        ),
+    ));
+    out
+}
+
+// ------------------------------------------------------------ ablations
+
+/// Feature-set ablation: retrain the stall model without any chunk-size
+/// features. The paper's argument (§4.1) implies accuracy should drop
+/// materially.
+fn ablation_features(ctx: &ReproContext) -> String {
+    let mut out = header(
+        "ablation-features",
+        "stall model without chunk-size features",
+    );
+    let mut stall_corpus = ctx.cleartext.clone();
+    stall_corpus.extend(ctx.adaptive.iter().cloned());
+    let full = vqoe_features::build_stall_dataset(&stall_corpus);
+    // Drop the 7 chunk-size statistics (metric index 8 → columns 56..63).
+    let keep: Vec<usize> = (0..full.n_features())
+        .filter(|&i| !full.feature_names[i].starts_with("chunk size"))
+        .collect();
+    let without = full.select_features(&keep);
+    let report_full =
+        vqoe_core::stall_pipeline::train_stall_detector_on(&full, ForestConfig::default(), 7);
+    let report_without =
+        vqoe_core::stall_pipeline::train_stall_detector_on(&without, ForestConfig::default(), 7);
+    let mut t = Table::new(vec!["feature set", "CV accuracy", "no-stall recall", "severe recall"]);
+    for (name, m) in [
+        ("all 70 features", &report_full.cv_matrix),
+        ("without chunk size", &report_without.cv_matrix),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.3}", m.accuracy()),
+            format!("{:.3}", m.tp_rate(0)),
+            format!("{:.3}", m.tp_rate(2)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(&compare_line(
+        "removing chunk-size features hurts",
+        "implied by §4.1",
+        &format!(
+            "Δaccuracy = {:+.3}",
+            report_without.cv_matrix.accuracy() - report_full.cv_matrix.accuracy()
+        ),
+    ));
+    out
+}
+
+/// CUSUM ablation: score sessions by the raw σ of the Δsize×Δt series
+/// instead of σ(CUSUM(...)) and compare separation quality.
+fn ablation_cusum(ctx: &ReproContext) -> String {
+    let mut out = header("ablation-cusum", "CUSUM vs raw σ of the Δsize×Δt series");
+    let cfg = ctx.switch.detector.config;
+    let mut raw_without = Vec::new();
+    let mut raw_with = Vec::new();
+    for t in &ctx.adaptive {
+        let obs = SessionObs::from_trace(t);
+        let filtered = vqoe_changedet::detector::startup_filter(&obs.chunk_points(), &cfg);
+        if filtered.len() < 3 {
+            continue;
+        }
+        let series = vqoe_changedet::detector::delta_product_series(&filtered, &cfg);
+        let raw = vqoe_stats::moments::population_std(&series);
+        if has_switches(&t.ground_truth) {
+            raw_with.push(raw);
+        } else {
+            raw_without.push(raw);
+        }
+    }
+    let (_, raw_wo, raw_w) = vqoe_stats::ecdf::best_separating_threshold(&raw_without, &raw_with);
+    let mut t = Table::new(vec!["method", "no-switch acc", "switch acc", "balanced"]);
+    t.row(vec![
+        "σ(CUSUM(Δsize×Δt)) [paper]".to_string(),
+        format!("{:.3}", ctx.switch.acc_without),
+        format!("{:.3}", ctx.switch.acc_with),
+        format!("{:.3}", (ctx.switch.acc_without + ctx.switch.acc_with) / 2.0),
+    ]);
+    t.row(vec![
+        "σ(Δsize×Δt) raw".to_string(),
+        format!("{raw_wo:.3}"),
+        format!("{raw_w:.3}"),
+        format!("{:.3}", (raw_wo + raw_w) / 2.0),
+    ]);
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(&compare_line(
+        "CUSUM accumulation beats a raw variance score",
+        "implied by §4.3's method choice",
+        &format!(
+            "Δbalanced = {:+.3}",
+            (ctx.switch.acc_without + ctx.switch.acc_with) / 2.0 - (raw_wo + raw_w) / 2.0
+        ),
+    ));
+    out
+}
+
+/// Reassembly sensitivity: sweep the idle-gap threshold of the §5.2
+/// procedure and report recall (sessions recovered and matched) and
+/// fragmentation (recovered sessions per real session).
+fn ablation_reassembly(ctx: &ReproContext) -> String {
+    let mut out = header(
+        "ablation-reassembly",
+        "idle-gap sensitivity of encrypted session reassembly",
+    );
+    let mut t = Table::new(vec![
+        "idle gap (s)",
+        "recovered",
+        "matched",
+        "recall",
+        "exact chunk counts",
+    ]);
+    for gap_secs in [5u64, 15, 30, 60, 120, 600] {
+        let cfg = vqoe_telemetry::ReassemblyConfig {
+            idle_gap: vqoe_simnet::time::Duration::from_secs(gap_secs),
+            ..vqoe_telemetry::ReassemblyConfig::default()
+        };
+        let sessions = vqoe_telemetry::reassemble_subscriber(&ctx.world.entries, &cfg);
+        let joined = vqoe_telemetry::join_sessions(&sessions, &ctx.world.traces);
+        let exact = joined
+            .iter()
+            .filter(|j| {
+                sessions[j.reassembled_idx].chunk_count()
+                    == ctx.world.traces[j.trace_idx].chunks.len()
+            })
+            .count();
+        t.row(vec![
+            format!("{gap_secs}"),
+            format!("{}", sessions.len()),
+            format!("{}", joined.len()),
+            format!("{:.3}", joined.len() as f64 / ctx.world.traces.len() as f64),
+            format!("{exact}/{}", joined.len()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(&compare_line(
+        "reassembly robust across a wide threshold range",
+        "implied by §5.2's claimed reliability",
+        "see the recall column",
+    ));
+    out
+}
+
+/// The Prometheus-style binary baseline the paper compares against:
+/// stall / no-stall with all features.
+fn baseline_binary(ctx: &ReproContext) -> String {
+    let mut out = header(
+        "baseline-binary",
+        "binary stall classifier (Prometheus-style baseline)",
+    );
+    let mut stall_corpus = ctx.cleartext.clone();
+    stall_corpus.extend(ctx.adaptive.iter().cloned());
+    let full = vqoe_features::build_stall_dataset(&stall_corpus);
+    let y_binary: Vec<usize> = stall_corpus
+        .iter()
+        .map(|t| usize::from(stall_label(&t.ground_truth) != StallClass::NoStalls))
+        .collect();
+    let binary = Dataset::new(
+        full.feature_names.clone(),
+        vec!["no stalls".to_string(), "stalls".to_string()],
+        full.x.clone(),
+        y_binary,
+    );
+    let m = cross_validate(&binary, 10, ForestConfig::default(), true, 7);
+    out.push_str(&render_class_report(&m));
+    out.push('\n');
+    out.push_str(&compare_line(
+        "binary baseline accuracy",
+        "~84% (Prometheus [15])",
+        &format!("{:.1}%", m.accuracy() * 100.0),
+    ));
+    out.push_str(&compare_line(
+        "3-class model adds severity detection at",
+        "93.5%",
+        &format!("{:.1}%", ctx.stall.cv_matrix.accuracy() * 100.0),
+    ));
+    out
+}
+
+/// The §7 generalization probe: models trained on the YouTube profile,
+/// evaluated on a provider with different delivery mechanics (shorter
+/// muxed segments, more efficient encodes, deeper buffers).
+fn generalization(ctx: &ReproContext) -> String {
+    let mut out = header(
+        "generalization",
+        "§7 probe: YouTube-trained models on a Vimeo-like provider",
+    );
+    let mut config = vqoe_core::EncryptedEvalConfig::paper_default(ctx.scale.seed ^ 0x0666);
+    config.spec.profile = vqoe_player::StreamingProfile::vimeo_like();
+    let other = vqoe_core::EncryptedWorld::build(&config);
+
+    let stall_home = ctx.stall.model.evaluate(&ctx.world.stall_eval_dataset());
+    let stall_away = ctx.stall.model.evaluate(&other.stall_eval_dataset());
+    let rep_home = ctx
+        .representation
+        .model
+        .evaluate(&ctx.world.representation_eval_dataset());
+    let rep_away = ctx
+        .representation
+        .model
+        .evaluate(&other.representation_eval_dataset());
+    let sw_home = evaluate_switch_detector(&ctx.switch.detector, &ctx.world.labelled_switch_sessions());
+    let sw_away = evaluate_switch_detector(&ctx.switch.detector, &other.labelled_switch_sessions());
+
+    let mut t = Table::new(vec![
+        "detector",
+        "YouTube profile",
+        "Vimeo-like profile",
+        "delta",
+    ]);
+    t.row(vec![
+        "stall severity".to_string(),
+        format!("{:.3}", stall_home.accuracy()),
+        format!("{:.3}", stall_away.accuracy()),
+        format!("{:+.3}", stall_away.accuracy() - stall_home.accuracy()),
+    ]);
+    t.row(vec![
+        "avg representation".to_string(),
+        format!("{:.3}", rep_home.accuracy()),
+        format!("{:.3}", rep_away.accuracy()),
+        format!("{:+.3}", rep_away.accuracy() - rep_home.accuracy()),
+    ]);
+    let bal = |e: &vqoe_core::SwitchEvalReport| (e.acc_with + e.acc_without) / 2.0;
+    t.row(vec![
+        "switch detection (balanced)".to_string(),
+        format!("{:.3}", bal(&sw_home)),
+        format!("{:.3}", bal(&sw_away)),
+        format!("{:+.3}", bal(&sw_away) - bal(&sw_home)),
+    ]);
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(&compare_line(
+        "methodology generalizes across providers",
+        "conjectured (§7)",
+        "see deltas above (retraining closes any gap)",
+    ));
+    out
+}
+
+/// Robustness extension: how much does provider-side traffic-shape
+/// obfuscation degrade the trained detectors? The flip side of the
+/// paper's thesis — TLS alone leaks QoE structure; this quantifies what
+/// it would take to actually hide it.
+fn obfuscation(ctx: &ReproContext) -> String {
+    use rand::SeedableRng;
+    use vqoe_features::labels::{rq_label, stall_label};
+    use vqoe_features::obfuscation::{inject_dummies, jitter_timing, pad_sizes};
+
+    let mut out = header(
+        "obfuscation",
+        "detector accuracy under provider-side shape countermeasures",
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0BF5);
+
+    // Collect the joined encrypted sessions once.
+    let sessions: Vec<(SessionObs, usize, usize)> = ctx
+        .world
+        .joined
+        .iter()
+        .map(|j| {
+            (
+                SessionObs::from_reassembled(&ctx.world.sessions[j.reassembled_idx]),
+                stall_label(&ctx.world.traces[j.trace_idx].ground_truth).index(),
+                rq_label(&ctx.world.traces[j.trace_idx].ground_truth).index(),
+            )
+        })
+        .collect();
+
+    let eval = |label: String, transform: &mut dyn FnMut(&SessionObs) -> SessionObs,
+                t: &mut Table| {
+        let mut stall_ok = 0usize;
+        let mut rq_ok = 0usize;
+        for (obs, stall_truth, rq_truth) in &sessions {
+            let defended = transform(obs);
+            if ctx.stall.model.predict(&defended).index() == *stall_truth {
+                stall_ok += 1;
+            }
+            if ctx.representation.model.predict(&defended).index() == *rq_truth {
+                rq_ok += 1;
+            }
+        }
+        let n = sessions.len() as f64;
+        t.row(vec![
+            label,
+            format!("{:.3}", stall_ok as f64 / n),
+            format!("{:.3}", rq_ok as f64 / n),
+        ]);
+    };
+
+    let mut t = Table::new(vec!["countermeasure", "stall acc", "repr acc"]);
+    eval("none (baseline)".to_string(), &mut |o| o.clone(), &mut t);
+    for quantum in [64_000u64, 256_000, 1_000_000] {
+        eval(
+            format!("pad sizes to {} KB", quantum / 1000),
+            &mut |o| pad_sizes(o, quantum),
+            &mut t,
+        );
+    }
+    for jitter in [1.0f64, 5.0] {
+        eval(
+            format!("timing jitter ≤ {jitter}s"),
+            &mut |o| jitter_timing(o, jitter, &mut rng),
+            &mut t,
+        );
+    }
+    let mut rng2 = rand::rngs::StdRng::seed_from_u64(0x0BF6);
+    for frac in [0.25f64, 1.0] {
+        eval(
+            format!("+{:.0}% dummy chunks", frac * 100.0),
+            &mut |o| inject_dummies(o, frac, &mut rng2),
+            &mut t,
+        );
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(&compare_line(
+        "shape obfuscation is what it takes to defeat monitoring",
+        "implied: TLS alone does not hide QoE",
+        "accuracy decays with countermeasure strength",
+    ));
+    out
+}
+
+/// ABR-family comparison (extension experiment; not a paper artifact but
+/// exercises the substrate's design space).
+pub fn abr_comparison(seed: u64, n: usize) -> String {
+    let mut out = header("abr-comparison", "stalls and switching across ABR families");
+    let mut t = Table::new(vec![
+        "ABR",
+        "stalled sessions",
+        "mean RR",
+        "mean switches",
+        "mean resolution",
+    ]);
+    for abr in [AbrKind::Throughput, AbrKind::BufferBased, AbrKind::Hybrid] {
+        let mut spec = DatasetSpec::adaptive_default(n, seed);
+        spec.delivery.abr = abr;
+        let traces = vqoe_core::generate_traces(&spec);
+        let stalled = traces
+            .iter()
+            .filter(|t| t.ground_truth.stall_count() > 0)
+            .count();
+        let mean_rr: f64 = traces
+            .iter()
+            .map(|t| t.ground_truth.rebuffering_ratio())
+            .sum::<f64>()
+            / traces.len() as f64;
+        let mean_switches: f64 = traces
+            .iter()
+            .map(|t| t.ground_truth.switch_count() as f64)
+            .sum::<f64>()
+            / traces.len() as f64;
+        let mean_res: f64 = traces
+            .iter()
+            .map(|t| t.ground_truth.avg_resolution())
+            .sum::<f64>()
+            / traces.len() as f64;
+        t.row(vec![
+            format!("{abr:?}"),
+            format!("{stalled}/{}", traces.len()),
+            format!("{mean_rr:.4}"),
+            format!("{mean_switches:.2}"),
+            format!("{mean_res:.0}p"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ReproContext, ReproScale};
+    use std::sync::OnceLock;
+
+    fn ctx() -> &'static ReproContext {
+        static CTX: OnceLock<ReproContext> = OnceLock::new();
+        CTX.get_or_init(|| ReproContext::build(ReproScale::smoke()))
+    }
+
+    #[test]
+    fn every_experiment_renders() {
+        let ctx = ctx();
+        for id in EXPERIMENTS {
+            let report = run_experiment(id, ctx);
+            assert!(
+                report.len() > 80,
+                "experiment {id} produced a stub: {report}"
+            );
+            assert!(report.contains(id), "report missing its id: {id}");
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_lists_known_ones() {
+        let report = run_experiment("nope", ctx());
+        assert!(report.contains("unknown experiment"));
+        assert!(report.contains("tab3"));
+    }
+
+    #[test]
+    fn tab3_reports_accuracy_against_paper() {
+        let report = run_experiment("tab3", ctx());
+        assert!(report.contains("93.5%"), "paper value missing");
+        assert!(report.contains("weighted avg."));
+    }
+
+    #[test]
+    fn fig4_reports_threshold() {
+        let report = run_experiment("fig4", ctx());
+        assert!(report.contains("calibrated threshold"));
+        assert!(report.contains("78%"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # vqoe-bench
+//!
+//! The reproduction harness for *Measuring Video QoE from Encrypted
+//! Traffic* (IMC 2016): one experiment per table and figure in the
+//! paper's evaluation, regenerated end to end from the simulation
+//! substrate, plus the ablations called out in `DESIGN.md`.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p vqoe-bench --bin repro -- all
+//! ```
+//!
+//! or a single artifact, scaled up:
+//!
+//! ```text
+//! cargo run --release -p vqoe-bench --bin repro -- tab3 --sessions 20000
+//! ```
+//!
+//! The Criterion performance benches live in `benches/perf.rs`
+//! (`cargo bench -p vqoe-bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+pub mod render;
+
+pub use context::{ReproContext, ReproScale};
+pub use experiments::{run_experiment, EXPERIMENTS};

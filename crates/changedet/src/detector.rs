@@ -1,0 +1,260 @@
+//! The §4.3 representation-switch detection pipeline.
+//!
+//! Per session:
+//!
+//! 1. **Start-up filtering** — "we remove the first ten seconds of all
+//!    video sessions" so the initial buffer-fill ramp (small segments,
+//!    tight inter-arrivals) is not mistaken for a mid-stream switch.
+//! 2. **Series construction** — "the metric which better captures the
+//!    changes in both the size and the inter-arrival of the video
+//!    segments is the product Δsize × Δt": for each consecutive chunk
+//!    pair, the size difference times the inter-arrival time.
+//! 3. **CUSUM** over that series, then the session score
+//!    `σ(CUSUM(Δsize × Δt))` (eq. 3).
+//! 4. **Thresholding** — one score threshold, calibrated once on the
+//!    cleartext set (the paper's "500") and then frozen for the
+//!    encrypted evaluation (§5.6).
+//!
+//! The module is deliberately independent of the player/telemetry types:
+//! a session is just its chunk points `(arrival_time_secs, size_bytes)`,
+//! so the same code scores simulated cleartext sessions, reassembled
+//! encrypted sessions, or anything a downstream user brings.
+
+use crate::cusum::{cusum_series, CusumConfig};
+use serde::{Deserialize, Serialize};
+
+/// Pipeline parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchScoreConfig {
+    /// Seconds of session head to discard (start-up phase).
+    pub startup_filter_secs: f64,
+    /// CUSUM parameters.
+    pub cusum: CusumConfig,
+    /// Normalize Δsize to kilobytes before the product, keeping score
+    /// magnitudes in a human-scale range (the absolute scale is
+    /// irrelevant — the threshold is calibrated on the same units).
+    pub size_unit_bytes: f64,
+}
+
+impl Default for SwitchScoreConfig {
+    fn default() -> Self {
+        SwitchScoreConfig {
+            startup_filter_secs: 10.0,
+            cusum: CusumConfig::default(),
+            size_unit_bytes: 1024.0,
+        }
+    }
+}
+
+/// Build the `Δsize × Δt` series from chunk points
+/// `(arrival_time_secs, size_bytes)`, already start-up-filtered.
+///
+/// `Δt` is the chunk inter-arrival time in seconds, `Δsize` the absolute
+/// size difference in `size_unit_bytes` units. Fewer than two points
+/// yield an empty series.
+pub fn delta_product_series(points: &[(f64, f64)], config: &SwitchScoreConfig) -> Vec<f64> {
+    points
+        .windows(2)
+        .map(|w| {
+            let dt = (w[1].0 - w[0].0).max(0.0);
+            let dsize = (w[1].1 - w[0].1).abs() / config.size_unit_bytes;
+            dsize * dt
+        })
+        .collect()
+}
+
+/// Apply the start-up filter: drop points within
+/// `startup_filter_secs` of the first point.
+pub fn startup_filter(points: &[(f64, f64)], config: &SwitchScoreConfig) -> Vec<(f64, f64)> {
+    let Some(&(t0, _)) = points.first() else {
+        return Vec::new();
+    };
+    points
+        .iter()
+        .copied()
+        .filter(|&(t, _)| t >= t0 + config.startup_filter_secs)
+        .collect()
+}
+
+/// The session score `σ(CUSUM(Δsize × Δt))` of eq. 3. Sessions too short
+/// to score (fewer than 3 surviving chunks) score 0 — indistinguishable
+/// from "no variation", which is the conservative call.
+pub fn session_score(points: &[(f64, f64)], config: &SwitchScoreConfig) -> f64 {
+    let filtered = startup_filter(points, config);
+    if filtered.len() < 3 {
+        return 0.0;
+    }
+    let series = delta_product_series(&filtered, config);
+    let out = cusum_series(&series, config.cusum);
+    vqoe_stats::moments::population_std(&out)
+}
+
+/// A calibrated switch detector: score above threshold ⇒ the session
+/// had representation-quality variation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchDetector {
+    /// The frozen score threshold (the paper's "500").
+    pub threshold: f64,
+    /// Scoring parameters (must match calibration).
+    pub config: SwitchScoreConfig,
+}
+
+impl SwitchDetector {
+    /// Score one session and compare against the threshold.
+    pub fn detect(&self, points: &[(f64, f64)]) -> bool {
+        session_score(points, &self.config) > self.threshold
+    }
+}
+
+/// Calibrate the threshold on labelled score populations (sessions
+/// without switches vs with switches), maximizing balanced accuracy —
+/// the Figure 4 procedure. Returns the detector plus the two per-class
+/// accuracies at the chosen threshold.
+pub fn calibrate_threshold(
+    scores_without: &[f64],
+    scores_with: &[f64],
+    config: SwitchScoreConfig,
+) -> (SwitchDetector, f64, f64) {
+    let (threshold, acc_without, acc_with) =
+        vqoe_stats::ecdf::best_separating_threshold(scores_without, scores_with);
+    (
+        SwitchDetector { threshold, config },
+        acc_without,
+        acc_with,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic steady session: constant chunk size & cadence (+jitter).
+    fn steady_session(n: usize, size: f64, dt: f64, jitter: f64) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| {
+                let j = if i % 2 == 0 { jitter } else { -jitter };
+                (i as f64 * dt, size + j)
+            })
+            .collect()
+    }
+
+    /// Session with an abrupt representation switch at chunk `at`:
+    /// sizes jump and cadence stretches (higher bitrate = slower refill).
+    fn switching_session(n: usize, at: usize) -> Vec<(f64, f64)> {
+        let mut t = 0.0;
+        (0..n)
+            .map(|i| {
+                let (size, dt) = if i < at {
+                    (100_000.0, 2.0)
+                } else {
+                    (450_000.0, 5.0)
+                };
+                let point = (t, size);
+                t += dt;
+                point
+            })
+            .collect()
+    }
+
+    #[test]
+    fn steady_sessions_score_near_zero() {
+        let s = steady_session(40, 200_000.0, 3.0, 2_000.0);
+        let score = session_score(&s, &SwitchScoreConfig::default());
+        assert!(score < 50.0, "steady score {score}");
+    }
+
+    #[test]
+    fn switching_sessions_score_high() {
+        let s = switching_session(40, 20);
+        let score = session_score(&s, &SwitchScoreConfig::default());
+        let steady = session_score(
+            &steady_session(40, 100_000.0, 2.0, 2_000.0),
+            &SwitchScoreConfig::default(),
+        );
+        assert!(
+            score > steady * 10.0,
+            "switch {score} vs steady {steady}"
+        );
+    }
+
+    #[test]
+    fn startup_filter_drops_the_head() {
+        let points: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 1000.0)).collect();
+        let cfg = SwitchScoreConfig::default();
+        let kept = startup_filter(&points, &cfg);
+        assert_eq!(kept.len(), 10);
+        assert_eq!(kept[0].0, 10.0);
+    }
+
+    #[test]
+    fn startup_ramp_alone_does_not_trigger() {
+        // Fast ramp in the first 10 s (start-up), then steady: the filter
+        // must suppress the ramp's contribution.
+        let mut points = Vec::new();
+        let mut t = 0.0;
+        for i in 0..8 {
+            points.push((t, 30_000.0 + i as f64 * 40_000.0));
+            t += 1.0;
+        }
+        for _ in 0..30 {
+            points.push((t, 350_000.0));
+            t += 4.0;
+        }
+        let cfg = SwitchScoreConfig::default();
+        let score = session_score(&points, &cfg);
+        assert!(score < 50.0, "startup leaked into score: {score}");
+    }
+
+    #[test]
+    fn short_sessions_score_zero() {
+        let cfg = SwitchScoreConfig::default();
+        assert_eq!(session_score(&[], &cfg), 0.0);
+        assert_eq!(session_score(&[(0.0, 1.0)], &cfg), 0.0);
+        assert_eq!(session_score(&[(0.0, 1.0), (20.0, 2.0)], &cfg), 0.0);
+    }
+
+    #[test]
+    fn delta_products_combine_both_signals() {
+        let cfg = SwitchScoreConfig {
+            size_unit_bytes: 1.0,
+            ..SwitchScoreConfig::default()
+        };
+        let points = [(0.0, 10.0), (2.0, 10.0), (5.0, 40.0)];
+        let series = delta_product_series(&points, &cfg);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], 0.0); // no size change
+        assert_eq!(series[1], 3.0 * 30.0);
+    }
+
+    #[test]
+    fn calibration_separates_synthetic_populations() {
+        let cfg = SwitchScoreConfig::default();
+        let without: Vec<f64> = (0..50)
+            .map(|i| {
+                session_score(
+                    &steady_session(40, 150_000.0 + i as f64 * 1_000.0, 3.0, 3_000.0),
+                    &cfg,
+                )
+            })
+            .collect();
+        let with: Vec<f64> = (0..50)
+            .map(|i| session_score(&switching_session(40, 15 + i % 10), &cfg))
+            .collect();
+        let (detector, acc_wo, acc_w) = calibrate_threshold(&without, &with, cfg);
+        assert!(acc_wo > 0.9, "acc without switches {acc_wo}");
+        assert!(acc_w > 0.9, "acc with switches {acc_w}");
+        // The detector generalizes to fresh sessions of each kind.
+        assert!(!detector.detect(&steady_session(40, 222_000.0, 3.0, 3_000.0)));
+        assert!(detector.detect(&switching_session(40, 22)));
+    }
+
+    #[test]
+    fn detector_threshold_boundary_is_exclusive() {
+        let cfg = SwitchScoreConfig::default();
+        let d = SwitchDetector {
+            threshold: f64::INFINITY,
+            config: cfg,
+        };
+        assert!(!d.detect(&switching_session(40, 20)));
+    }
+}

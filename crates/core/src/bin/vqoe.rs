@@ -1,0 +1,248 @@
+//! `vqoe` — the operator command line.
+//!
+//! File-based pipeline stages so each step of the paper's workflow can
+//! be run, inspected and re-run independently:
+//!
+//! ```text
+//! # simulate an operator corpus (cleartext / adaptive / encrypted shape)
+//! vqoe generate --kind cleartext --sessions 5000 --seed 1 --out traces.jsonl
+//!
+//! # render traces into proxy weblogs (add --encrypted for the TLS view)
+//! vqoe capture --traces traces.jsonl --encrypted --out weblogs.jsonl
+//!
+//! # reverse-engineer ground truth from cleartext weblogs (§3.2)
+//! vqoe extract-gt --weblogs weblogs.jsonl --out ground_truth.jsonl
+//!
+//! # train the full framework and save the model
+//! vqoe train --cleartext 4000 --adaptive 1500 --seed 2016 --out model.json
+//!
+//! # assess a subscriber's weblog stream with a trained model
+//! vqoe assess --model model.json --weblogs weblogs.jsonl --out assessments.jsonl
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use rand::SeedableRng;
+use vqoe_core::{
+    generate_sequential_traces, generate_traces, DatasetSpec, QoeMonitor, TrainingConfig,
+};
+use vqoe_player::SessionTrace;
+use vqoe_telemetry::{
+    capture_session, extract_sessions, read_jsonl, write_jsonl, CaptureConfig, WeblogEntry,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage("no command given");
+    };
+    let flags = Flags::parse(&args[1..]);
+    match command.as_str() {
+        "generate" => generate(&flags),
+        "capture" => capture(&flags),
+        "extract-gt" => extract_gt(&flags),
+        "train" => train(&flags),
+        "assess" => assess(&flags),
+        "--help" | "-h" | "help" => usage(""),
+        other => usage(&format!("unknown command '{other}'")),
+    }
+}
+
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let Some(key) = args[i].strip_prefix("--") else {
+                usage(&format!("expected a --flag, got '{}'", args[i]));
+            };
+            // Boolean flags have no value (next token is another flag or
+            // the end).
+            if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+                out.push((key.to_string(), "true".to_string()));
+                i += 1;
+            } else {
+                out.push((key.to_string(), args[i + 1].clone()));
+                i += 2;
+            }
+        }
+        Flags(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, key: &str) -> &str {
+        self.get(key)
+            .unwrap_or_else(|| usage(&format!("missing --{key}")))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("--{key} wants a number, got '{v}'"))),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn path(&self, key: &str) -> PathBuf {
+        PathBuf::from(self.required(key))
+    }
+}
+
+fn generate(flags: &Flags) {
+    let sessions = flags.num("sessions", 1000usize);
+    let seed = flags.num("seed", 2016u64);
+    let kind = flags.get("kind").unwrap_or("cleartext");
+    let out = flags.path("out");
+    let traces: Vec<SessionTrace> = match kind {
+        "cleartext" => generate_traces(&DatasetSpec::cleartext_default(sessions, seed)),
+        "adaptive" => generate_traces(&DatasetSpec::adaptive_default(sessions, seed)),
+        "encrypted" => {
+            let spec = DatasetSpec {
+                n_sessions: sessions,
+                ..DatasetSpec::encrypted_default(seed)
+            };
+            generate_sequential_traces(&spec, 240.0)
+        }
+        other => usage(&format!(
+            "--kind must be cleartext|adaptive|encrypted, got '{other}'"
+        )),
+    };
+    write_jsonl(&out, &traces).unwrap_or_else(die(&out));
+    eprintln!("wrote {} traces to {}", traces.len(), out.display());
+}
+
+fn capture(flags: &Flags) {
+    let traces_path = flags.path("traces");
+    let out = flags.path("out");
+    let encrypted = flags.flag("encrypted");
+    let seed = flags.num("seed", 7u64);
+    // A sequential (instrumented-handset) corpus belongs to one
+    // subscriber; a population corpus gives each session its own.
+    let single_subscriber = flags.get("subscriber").map(|v| v.parse::<u64>());
+    let traces: Vec<SessionTrace> = read_jsonl(&traces_path).unwrap_or_else(die(&traces_path));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut entries: Vec<WeblogEntry> = Vec::new();
+    for (i, t) in traces.iter().enumerate() {
+        let subscriber_id = match &single_subscriber {
+            Some(Ok(id)) => *id,
+            Some(Err(_)) => usage("--subscriber wants a number"),
+            None => i as u64,
+        };
+        entries.extend(capture_session(
+            t,
+            &CaptureConfig {
+                encrypted,
+                subscriber_id,
+            },
+            &mut rng,
+        ));
+    }
+    entries.sort_by_key(|e| e.timestamp);
+    write_jsonl(&out, &entries).unwrap_or_else(die(&out));
+    eprintln!(
+        "wrote {} weblog entries ({}) to {}",
+        entries.len(),
+        if encrypted { "encrypted" } else { "cleartext" },
+        out.display()
+    );
+}
+
+fn extract_gt(flags: &Flags) {
+    let weblogs = flags.path("weblogs");
+    let out = flags.path("out");
+    let entries: Vec<WeblogEntry> = read_jsonl(&weblogs).unwrap_or_else(die(&weblogs));
+    let sessions = extract_sessions(&entries);
+    write_jsonl(&out, &sessions).unwrap_or_else(die(&out));
+    eprintln!(
+        "extracted ground truth for {} sessions to {}",
+        sessions.len(),
+        out.display()
+    );
+}
+
+fn train(flags: &Flags) {
+    let out = flags.path("out");
+    let config = TrainingConfig {
+        cleartext_sessions: flags.num("cleartext", 4000usize),
+        adaptive_sessions: flags.num("adaptive", 1500usize),
+        seed: flags.num("seed", 2016u64),
+        ..TrainingConfig::default()
+    };
+    eprintln!(
+        "training on {} cleartext + {} adaptive sessions (seed {}) ...",
+        config.cleartext_sessions, config.adaptive_sessions, config.seed
+    );
+    let monitor = QoeMonitor::train(&config);
+    let json = monitor.to_json().expect("serialize model");
+    std::fs::write(&out, json).unwrap_or_else(die(&out));
+    eprintln!(
+        "model written to {} (stall features: {:?})",
+        out.display(),
+        monitor.stall_model.selected_names
+    );
+}
+
+fn assess(flags: &Flags) {
+    let model_path = flags.path("model");
+    let weblogs = flags.path("weblogs");
+    let out = flags.path("out");
+    let json = std::fs::read_to_string(&model_path).unwrap_or_else(die(&model_path));
+    let monitor = QoeMonitor::from_json(&json).expect("parse model JSON");
+    let entries: Vec<WeblogEntry> = read_jsonl(&weblogs).unwrap_or_else(die(&weblogs));
+
+    // Assess per subscriber (the reassembly state machine is
+    // per-subscriber by construction).
+    let mut by_subscriber: std::collections::BTreeMap<u64, Vec<WeblogEntry>> = Default::default();
+    for e in entries {
+        by_subscriber.entry(e.subscriber_id).or_default().push(e);
+    }
+    let mut assessments = Vec::new();
+    for (_, subscriber_entries) in by_subscriber {
+        assessments.extend(monitor.assess_subscriber(&subscriber_entries));
+    }
+    write_jsonl(&out, &assessments).unwrap_or_else(die(&out));
+    let poor = assessments.iter().filter(|a| a.qoe.is_poor()).count();
+    eprintln!(
+        "assessed {} sessions ({} poor-QoE) -> {}",
+        assessments.len(),
+        poor,
+        out.display()
+    );
+}
+
+fn die<T>(path: &Path) -> impl FnOnce(std::io::Error) -> T + '_ {
+    move |e| {
+        eprintln!("error: {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "vqoe — video QoE monitoring from (encrypted) traffic\n\
+         \n\
+         commands:\n\
+           generate   --kind cleartext|adaptive|encrypted --sessions N --seed S --out FILE\n\
+           capture    --traces FILE [--encrypted] [--subscriber ID] [--seed S] --out FILE\n\
+           extract-gt --weblogs FILE --out FILE\n\
+           train      [--cleartext N] [--adaptive N] [--seed S] --out FILE\n\
+           assess     --model FILE --weblogs FILE --out FILE"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

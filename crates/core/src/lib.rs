@@ -1,0 +1,79 @@
+//! # vqoe-core
+//!
+//! The primary contribution of *Measuring Video QoE from Encrypted
+//! Traffic* (Dimopoulos et al., IMC 2016), reproduced end to end: a
+//! framework that detects the three key video-QoE impairments — stalls,
+//! average representation quality and representation-quality switching —
+//! from passively monitored traffic at a single vantage point, **even
+//! when the traffic is encrypted**.
+//!
+//! ## The pipeline
+//!
+//! ```text
+//!            cleartext weblogs (URIs → ground truth)         encrypted weblogs
+//!                         │                                        │
+//!      ┌──────────────────┴──────────┐                   session reassembly (§5.2)
+//!      │   feature construction      │                             │
+//!      │   (70-dim stall set,        │                   feature construction
+//!      │    210-dim representation   │                             │
+//!      │    set, Δsize×Δt series)    │                             ▼
+//!      └──────────────────┬──────────┘          ┌─────── frozen models applied ──────┐
+//!                         │                     │  stall RF · representation RF ·    │
+//!      CFS + info gain → Random Forest (§4.1/2) │  σ(CUSUM(Δsize×Δt)) threshold      │
+//!      CUSUM threshold calibration (§4.3)       └─────────────────────────────────────┘
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use vqoe_core::{QoeMonitor, TrainingConfig};
+//!
+//! // Train the full framework on a simulated operator dataset
+//! // (cleartext weblogs with URI ground truth)...
+//! let monitor = QoeMonitor::train(&TrainingConfig::default());
+//!
+//! // ...then assess encrypted traffic: reassemble one subscriber's
+//! // stream into sessions and classify each one.
+//! # let entries: Vec<vqoe_telemetry::WeblogEntry> = vec![];
+//! for assessment in monitor.assess_subscriber(&entries) {
+//!     println!(
+//!         "session at {}: stalls={:?} quality={:?} switching={}",
+//!         assessment.start, assessment.stall, assessment.representation,
+//!         assessment.has_quality_switches,
+//!     );
+//! }
+//! ```
+//!
+//! Modules: [`spec`] (dataset specifications), [`generate`] (parallel
+//! trace generation), [`stall_pipeline`], [`avgrep_pipeline`],
+//! [`switch_pipeline`] (the three detectors' training/evaluation),
+//! [`encrypted`] (the §5 encrypted-traffic evaluation), [`monitor`] (the
+//! deployable operator API).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avgrep_pipeline;
+pub mod encrypted;
+pub mod generate;
+pub mod monitor;
+pub mod online;
+pub mod qoe_score;
+pub mod spec;
+pub mod stall_pipeline;
+pub mod switch_pipeline;
+pub mod weblog_training;
+
+pub use avgrep_pipeline::{RepresentationModel, RepresentationTrainingReport};
+pub use encrypted::{EncryptedEvalConfig, EncryptedWorld};
+pub use generate::{generate_sequential_traces, generate_traces};
+pub use monitor::{QoeMonitor, SessionAssessment, TrainingConfig};
+pub use online::OnlineAssessor;
+pub use qoe_score::QoeScore;
+pub use spec::{DatasetSpec, DeliveryMix, ScenarioMix};
+pub use stall_pipeline::{StallModel, StallTrainingReport};
+pub use switch_pipeline::{SwitchCalibrationReport, SwitchEvalReport};
+pub use weblog_training::{
+    capture_cleartext_corpus, representation_dataset_from_weblogs, sessions_from_weblogs,
+    stall_dataset_from_weblogs,
+};

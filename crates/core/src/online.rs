@@ -1,0 +1,176 @@
+//! Online (streaming) assessment — §8's deployment mode.
+//!
+//! "The trained models can be then directly applied on the passively
+//! monitored traffic and report issues in real time." [`OnlineAssessor`]
+//! is that loop: weblog entries flow in one at a time (any mix of
+//! subscribers, in timestamp order), sessions are carved out
+//! incrementally by [`StreamReassembler`] state machines, and a
+//! [`SessionAssessment`] is emitted the moment a session's boundary is
+//! proven — no batch window, no replays.
+
+use std::collections::HashMap;
+
+use vqoe_features::SessionObs;
+use vqoe_telemetry::{ReassembledSession, StreamReassembler, WeblogEntry};
+
+use crate::monitor::{QoeMonitor, SessionAssessment};
+
+/// A streaming wrapper over a trained [`QoeMonitor`].
+#[derive(Debug, Clone)]
+pub struct OnlineAssessor {
+    monitor: QoeMonitor,
+    per_subscriber: HashMap<u64, StreamReassembler>,
+}
+
+impl OnlineAssessor {
+    /// Wrap a trained monitor.
+    pub fn new(monitor: QoeMonitor) -> Self {
+        OnlineAssessor {
+            per_subscriber: HashMap::new(),
+            monitor,
+        }
+    }
+
+    /// The wrapped monitor (e.g. to inspect its models).
+    pub fn monitor(&self) -> &QoeMonitor {
+        &self.monitor
+    }
+
+    /// Ingest one weblog entry. Entries must arrive in timestamp order
+    /// *per subscriber* (the natural property of a live tap). Returns an
+    /// assessment when this entry closes a session of its subscriber.
+    pub fn ingest(&mut self, entry: &WeblogEntry) -> Option<SessionAssessment> {
+        let reassembly = self.monitor.reassembly;
+        let machine = self
+            .per_subscriber
+            .entry(entry.subscriber_id)
+            .or_insert_with(|| StreamReassembler::new(reassembly));
+        machine.push(entry).map(|s| self.assess(&s))
+    }
+
+    /// Close all open sessions (end of tap / end of day) and assess
+    /// whatever qualifies.
+    pub fn finish(mut self) -> Vec<SessionAssessment> {
+        let machines: Vec<StreamReassembler> = self.per_subscriber.drain().map(|(_, m)| m).collect();
+        machines
+            .into_iter()
+            .filter_map(|m| m.finish())
+            .map(|s| self.assess(&s))
+            .collect()
+    }
+
+    /// Number of subscribers with an open session group.
+    pub fn open_subscribers(&self) -> usize {
+        self.per_subscriber
+            .values()
+            .filter(|m| m.open_entries() > 0)
+            .count()
+    }
+
+    fn assess(&self, session: &ReassembledSession) -> SessionAssessment {
+        let obs = SessionObs::from_reassembled(session);
+        self.monitor.assess_session(&obs, session.start, session.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encrypted::{EncryptedEvalConfig, EncryptedWorld};
+    use crate::monitor::TrainingConfig;
+
+    fn world(n: usize, seed: u64) -> EncryptedWorld {
+        let mut config = EncryptedEvalConfig::paper_default(seed);
+        config.spec.n_sessions = n;
+        EncryptedWorld::build(&config)
+    }
+
+    fn trained() -> QoeMonitor {
+        QoeMonitor::train(&TrainingConfig {
+            cleartext_sessions: 250,
+            adaptive_sessions: 150,
+            seed: 71,
+            ..TrainingConfig::default()
+        })
+    }
+
+    #[test]
+    fn streaming_equals_batch_assessment() {
+        let monitor = trained();
+        let world = world(10, 72);
+        // Batch path.
+        let batch = monitor.assess_subscriber(&world.entries);
+        // Streaming path: one entry at a time, in timestamp order.
+        let mut online = OnlineAssessor::new(monitor);
+        let mut streamed = Vec::new();
+        for e in &world.entries {
+            if let Some(a) = online.ingest(e) {
+                streamed.push(a);
+            }
+        }
+        streamed.extend(online.finish());
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn sessions_emerge_mid_stream_not_only_at_finish() {
+        let monitor = trained();
+        let world = world(6, 73);
+        let mut online = OnlineAssessor::new(monitor);
+        let mut mid_stream = 0usize;
+        for e in &world.entries {
+            if online.ingest(e).is_some() {
+                mid_stream += 1;
+            }
+        }
+        let at_finish = online.finish().len();
+        // All but the final session close mid-stream (the next session's
+        // page burst proves the boundary).
+        assert!(mid_stream >= 5, "only {mid_stream} closed mid-stream");
+        assert_eq!(mid_stream + at_finish, 6);
+    }
+
+    #[test]
+    fn interleaved_subscribers_are_tracked_independently() {
+        let monitor = trained();
+        let w1 = world(3, 74);
+        let mut w2_cfg = EncryptedEvalConfig::paper_default(75);
+        w2_cfg.spec.n_sessions = 3;
+        let mut w2 = EncryptedWorld::build(&w2_cfg);
+        // Rewrite subscriber ids so the streams are distinguishable.
+        for e in &mut w2.entries {
+            e.subscriber_id = 2;
+        }
+        // Interleave by timestamp (as a shared tap would see them).
+        let mut merged: Vec<_> = w1.entries.iter().chain(w2.entries.iter()).cloned().collect();
+        merged.sort_by_key(|e| e.timestamp);
+
+        let mut online = OnlineAssessor::new(monitor);
+        let mut total = 0usize;
+        for e in &merged {
+            if online.ingest(e).is_some() {
+                total += 1;
+            }
+        }
+        total += online.finish().len();
+        assert_eq!(total, 6, "3 sessions per subscriber");
+    }
+
+    #[test]
+    fn noise_does_not_open_sessions() {
+        let monitor = trained();
+        let mut online = OnlineAssessor::new(monitor);
+        let mut rng = rand::SeedableRng::seed_from_u64(1);
+        for e in vqoe_telemetry::capture::generate_noise(
+            9,
+            vqoe_simnet::time::Instant::ZERO,
+            vqoe_simnet::time::Instant::from_secs(600),
+            200,
+            &mut rng,
+        ) {
+            assert!(online.ingest(&e).is_none());
+        }
+        assert_eq!(online.open_subscribers(), 0);
+        assert!(online.finish().is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Composite QoE (MOS) estimation from the three detected impairments.
+//!
+//! The paper stops at detecting the impairment *factors*; its §2.2
+//! surveys how each maps to Mean Opinion Scores — stalls dominate
+//! (Hoßfeld et al. \[8\]: two 3-second stalls already cost "significantly
+//! lower MOS"; Mok et al. \[9\]: medium rebuffering frequency costs ~2 MOS
+//! points), representation quality sets the achievable ceiling
+//! (Lewcio et al. \[10\]), and switching amplitude erodes it (Hoßfeld et
+//! al. \[11\]). This module composes the detector outputs into a single
+//! 1–5 score an operator dashboard can rank sessions by.
+//!
+//! The mapping is a deliberately simple, monotone, fully documented
+//! model in the spirit of those studies — not a fitted replica of any
+//! one of them (their subjects, content and scales all differ):
+//!
+//! ```text
+//! MOS = clamp( base(quality) − stall_penalty(severity)
+//!                            − switch_penalty(detected), 1, 5 )
+//! ```
+
+use serde::{Deserialize, Serialize};
+use vqoe_features::{RqClass, StallClass};
+
+/// Base MOS by average representation class, before impairments: the
+/// ceiling a perfectly smooth session of that quality reaches on a
+/// small screen (Lewcio et al. observe higher representations track
+/// better MOS, saturating at the display's ability to show them).
+pub fn base_mos(quality: RqClass) -> f64 {
+    match quality {
+        RqClass::Ld => 3.4,
+        RqClass::Sd => 4.2,
+        RqClass::Hd => 4.7,
+    }
+}
+
+/// MOS penalty by stall severity. Calibrated to the §2.2 citations:
+/// mild stalling (a few short rebufferings) costs about one MOS point,
+/// severe stalling (RR > 0.1, the abandonment regime of Krishnan et
+/// al. \[14\]) collapses the experience toward the bottom of the scale.
+pub fn stall_penalty(stall: StallClass) -> f64 {
+    match stall {
+        StallClass::NoStalls => 0.0,
+        StallClass::Mild => 1.0,
+        StallClass::Severe => 2.4,
+    }
+}
+
+/// MOS penalty for detected representation switching (Hoßfeld et
+/// al. \[11\]: amplitude matters most; our binary detector fires on the
+/// high-amplitude patterns CUSUM exposes, so a flat moderate penalty is
+/// the honest granularity).
+pub fn switch_penalty(has_switches: bool) -> f64 {
+    if has_switches {
+        0.4
+    } else {
+        0.0
+    }
+}
+
+/// A composed session QoE estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QoeScore {
+    /// The composite 1–5 Mean Opinion Score estimate.
+    pub mos: f64,
+    /// Quality ceiling before impairments.
+    pub base: f64,
+    /// Deduction attributed to stalling.
+    pub stall_penalty: f64,
+    /// Deduction attributed to representation switching.
+    pub switch_penalty: f64,
+}
+
+impl QoeScore {
+    /// Compose a score from detector outputs.
+    pub fn from_assessment(
+        stall: StallClass,
+        quality: RqClass,
+        has_switches: bool,
+    ) -> QoeScore {
+        let base = base_mos(quality);
+        let sp = stall_penalty(stall);
+        let wp = switch_penalty(has_switches);
+        QoeScore {
+            mos: (base - sp - wp).clamp(1.0, 5.0),
+            base,
+            stall_penalty: sp,
+            switch_penalty: wp,
+        }
+    }
+
+    /// Operator triage bucket: sessions below 2.5 are the paper's
+    /// abandonment-risk population.
+    pub fn is_poor(&self) -> bool {
+        self.mos < 2.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mos(stall: StallClass, rq: RqClass, sw: bool) -> f64 {
+        QoeScore::from_assessment(stall, rq, sw).mos
+    }
+
+    #[test]
+    fn smooth_hd_scores_best_and_severe_ld_worst() {
+        let best = mos(StallClass::NoStalls, RqClass::Hd, false);
+        let worst = mos(StallClass::Severe, RqClass::Ld, true);
+        assert!(best > 4.5);
+        assert!(worst <= 1.1);
+        assert!(best > worst + 3.0);
+    }
+
+    #[test]
+    fn mos_is_monotone_in_each_factor() {
+        for rq in [RqClass::Ld, RqClass::Sd, RqClass::Hd] {
+            for sw in [false, true] {
+                assert!(
+                    mos(StallClass::NoStalls, rq, sw) >= mos(StallClass::Mild, rq, sw),
+                    "stalls must not improve MOS"
+                );
+                assert!(mos(StallClass::Mild, rq, sw) >= mos(StallClass::Severe, rq, sw));
+            }
+        }
+        for stall in [StallClass::NoStalls, StallClass::Mild, StallClass::Severe] {
+            for sw in [false, true] {
+                assert!(mos(stall, RqClass::Hd, sw) >= mos(stall, RqClass::Sd, sw));
+                assert!(mos(stall, RqClass::Sd, sw) >= mos(stall, RqClass::Ld, sw));
+            }
+            assert!(mos(stall, RqClass::Sd, false) >= mos(stall, RqClass::Sd, true));
+        }
+    }
+
+    #[test]
+    fn stalls_dominate_switching() {
+        // §2.2's consistent finding: rebuffering is the worst impairment.
+        assert!(stall_penalty(StallClass::Mild) > switch_penalty(true));
+        assert!(stall_penalty(StallClass::Severe) > 2.0 * switch_penalty(true));
+    }
+
+    #[test]
+    fn scores_stay_on_the_mos_scale() {
+        for stall in [StallClass::NoStalls, StallClass::Mild, StallClass::Severe] {
+            for rq in [RqClass::Ld, RqClass::Sd, RqClass::Hd] {
+                for sw in [false, true] {
+                    let s = QoeScore::from_assessment(stall, rq, sw);
+                    assert!((1.0..=5.0).contains(&s.mos), "{s:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poor_bucket_captures_the_abandonment_regime() {
+        assert!(QoeScore::from_assessment(StallClass::Severe, RqClass::Ld, false).is_poor());
+        assert!(QoeScore::from_assessment(StallClass::Severe, RqClass::Sd, true).is_poor());
+        assert!(!QoeScore::from_assessment(StallClass::NoStalls, RqClass::Ld, true).is_poor());
+    }
+}

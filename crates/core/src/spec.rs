@@ -1,0 +1,208 @@
+//! Dataset specifications: the knobs that shape a simulated operator
+//! dataset.
+//!
+//! Two presets mirror the paper's two datasets:
+//!
+//! * [`DatasetSpec::cleartext_default`] — the §3 training corpus:
+//!   everyday traffic, dominated by static users and (97 %) legacy
+//!   progressive players, with 3 % adaptive sessions.
+//! * [`DatasetSpec::encrypted_default`] — the §5.2 evaluation corpus:
+//!   one instrumented handset, modern (DASH) app, "the user was
+//!   motivated to launch the application when moving" — a
+//!   commuting-heavy scenario mix, 722 sessions.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vqoe_player::{AbrKind, Delivery, StreamingProfile};
+use vqoe_simnet::channel::Scenario;
+
+/// Probability weights over the four radio scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMix {
+    /// Weight of [`Scenario::StaticHome`].
+    pub static_home: f64,
+    /// Weight of [`Scenario::StaticOffice`].
+    pub static_office: f64,
+    /// Weight of [`Scenario::Commuting`].
+    pub commuting: f64,
+    /// Weight of [`Scenario::CongestedCell`].
+    pub congested: f64,
+}
+
+impl ScenarioMix {
+    /// Draw a scenario according to the weights.
+    pub fn sample(&self, rng: &mut StdRng) -> Scenario {
+        let total = self.static_home + self.static_office + self.commuting + self.congested;
+        let mut x: f64 = rng.gen_range(0.0..total.max(1e-12));
+        for (scenario, w) in [
+            (Scenario::StaticHome, self.static_home),
+            (Scenario::StaticOffice, self.static_office),
+            (Scenario::Commuting, self.commuting),
+            (Scenario::CongestedCell, self.congested),
+        ] {
+            if x < w {
+                return scenario;
+            }
+            x -= w;
+        }
+        Scenario::CongestedCell
+    }
+}
+
+/// How delivery mechanisms are assigned to sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryMix {
+    /// Fraction of sessions using DASH (the rest are progressive).
+    pub dash_fraction: f64,
+    /// ABR family for the DASH sessions.
+    pub abr: AbrKind,
+}
+
+impl DeliveryMix {
+    /// Draw a delivery mechanism.
+    pub fn sample(&self, rng: &mut StdRng) -> Delivery {
+        if rng.gen_bool(self.dash_fraction.clamp(0.0, 1.0)) {
+            Delivery::Dash(self.abr)
+        } else {
+            Delivery::Progressive
+        }
+    }
+}
+
+/// Full specification of one simulated dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Number of sessions.
+    pub n_sessions: usize,
+    /// Master seed; every derived stream is a pure function of it.
+    pub seed: u64,
+    /// Radio-scenario weights.
+    pub scenarios: ScenarioMix,
+    /// Delivery mix.
+    pub delivery: DeliveryMix,
+    /// Provider delivery profile (§7 generalization: swap this to
+    /// evaluate the framework against a different service's mechanics).
+    pub profile: StreamingProfile,
+}
+
+impl DatasetSpec {
+    /// The §3 cleartext training corpus shape. `n_sessions` scales the
+    /// corpus (the paper had 390 k; simulation makes thousands plenty —
+    /// the class structure, not the raw count, is what the models need).
+    pub fn cleartext_default(n_sessions: usize, seed: u64) -> Self {
+        DatasetSpec {
+            n_sessions,
+            seed,
+            scenarios: ScenarioMix {
+                static_home: 0.50,
+                static_office: 0.27,
+                commuting: 0.13,
+                congested: 0.10,
+            },
+            delivery: DeliveryMix {
+                dash_fraction: 0.03,
+                abr: AbrKind::Hybrid,
+            },
+            profile: StreamingProfile::youtube(),
+        }
+    }
+
+    /// The adaptive-only corpus used to train the representation models
+    /// (§3.1 keeps only adaptive sessions for those).
+    pub fn adaptive_default(n_sessions: usize, seed: u64) -> Self {
+        let mut spec = Self::cleartext_default(n_sessions, seed);
+        spec.delivery.dash_fraction = 1.0;
+        spec
+    }
+
+    /// The §5.2 encrypted evaluation corpus shape: modern DASH app,
+    /// commuting-heavy.
+    pub fn encrypted_default(seed: u64) -> Self {
+        DatasetSpec {
+            n_sessions: 722,
+            seed,
+            scenarios: ScenarioMix {
+                static_home: 0.35,
+                static_office: 0.20,
+                commuting: 0.30,
+                congested: 0.15,
+            },
+            delivery: DeliveryMix {
+                dash_fraction: 1.0,
+                abr: AbrKind::Hybrid,
+            },
+            profile: StreamingProfile::youtube(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scenario_mix_respects_weights() {
+        let mix = ScenarioMix {
+            static_home: 1.0,
+            static_office: 0.0,
+            commuting: 0.0,
+            congested: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(mix.sample(&mut rng), Scenario::StaticHome);
+        }
+    }
+
+    #[test]
+    fn scenario_mix_statistics() {
+        let mix = DatasetSpec::cleartext_default(0, 0).scenarios;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        let n = 20_000;
+        for _ in 0..n {
+            match mix.sample(&mut rng) {
+                Scenario::StaticHome => counts[0] += 1,
+                Scenario::StaticOffice => counts[1] += 1,
+                Scenario::Commuting => counts[2] += 1,
+                Scenario::CongestedCell => counts[3] += 1,
+            }
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!((frac(counts[0]) - 0.50).abs() < 0.02);
+        assert!((frac(counts[2]) - 0.13).abs() < 0.02);
+    }
+
+    #[test]
+    fn delivery_mix_statistics() {
+        let mix = DeliveryMix {
+            dash_fraction: 0.03,
+            abr: AbrKind::Hybrid,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 30_000;
+        let dash = (0..n)
+            .filter(|_| mix.sample(&mut rng).is_adaptive())
+            .count();
+        let frac = dash as f64 / n as f64;
+        assert!((frac - 0.03).abs() < 0.01, "dash fraction {frac}");
+    }
+
+    #[test]
+    fn presets_have_expected_shapes() {
+        let clear = DatasetSpec::cleartext_default(1000, 7);
+        assert_eq!(clear.n_sessions, 1000);
+        assert!(clear.delivery.dash_fraction < 0.1);
+        let enc = DatasetSpec::encrypted_default(7);
+        assert_eq!(enc.n_sessions, 722);
+        assert_eq!(enc.delivery.dash_fraction, 1.0);
+        // Commuting-heavy relative to the cleartext mix (0.13), even if
+        // home launches still lead in absolute terms (§5.4: the healthy
+        // encrypted sessions were mostly static).
+        assert!(enc.scenarios.commuting > 2.0 * DatasetSpec::cleartext_default(1, 0).scenarios.commuting);
+        let adaptive = DatasetSpec::adaptive_default(500, 7);
+        assert_eq!(adaptive.delivery.dash_fraction, 1.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # vqoe-features
+//!
+//! Feature construction and labelling for the reproduction of *Measuring
+//! Video QoE from Encrypted Traffic* (IMC 2016).
+//!
+//! This crate turns a session's chunk-level observations — whether from
+//! cleartext weblogs, encrypted reassembled sessions, or the simulator
+//! directly — into the exact feature vectors and labels of §4:
+//!
+//! * [`obs`] — the network-visible view of a session ([`SessionObs`]): a
+//!   time-ordered list of chunk observations carrying only what an
+//!   operator can see for *encrypted* traffic (timing, size, transport
+//!   annotations). Both dataset flavors convert into it, which is what
+//!   makes "train on cleartext, evaluate on encrypted" a type-level
+//!   guarantee: no ground-truth field exists on the type.
+//! * [`stall`] — the §4.1 feature set: 7 summary statistics over each of
+//!   the 10 Table-1 metrics = 70 features.
+//! * [`representation`] — the §4.2 feature set: 15 summary statistics
+//!   (4 moments + 11 percentiles) over 14 series (the 10 base metrics
+//!   plus the constructed *chunk average size*, *chunk Δsize*,
+//!   *chunk Δt* and *cumulative-sum throughput*) = 210 features.
+//! * [`labels`] — the labelling rules: Rebuffering Ratio → {no, mild,
+//!   severe} stalling (threshold 0.1, after Krishnan et al.), mean
+//!   resolution → {LD, SD, HD} (360/480 lines), and switch
+//!   frequency/amplitude → variation classes (§4.3).
+//! * [`matrix`] — assembly of labelled [`vqoe_ml::Dataset`]s from
+//!   session collections.
+//! * [`obfuscation`] — provider-side shape countermeasures (padding,
+//!   timing jitter, cover traffic) for the robustness extension
+//!   analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod labels;
+pub mod matrix;
+pub mod obfuscation;
+pub mod obs;
+pub mod representation;
+pub mod stall;
+
+pub use labels::{rq_label, stall_label, variation_label, RqClass, StallClass, VariationClass};
+pub use matrix::{build_representation_dataset, build_stall_dataset};
+pub use obs::{ChunkObs, SessionObs};
+pub use representation::{representation_feature_names, representation_features};
+pub use stall::{stall_feature_names, stall_features};

@@ -1,0 +1,162 @@
+//! Assembly of labelled datasets from session collections.
+//!
+//! The cleartext training path: simulated traces (or parsed cleartext
+//! weblogs) supply both the network-visible [`SessionObs`] and the URI
+//! ground truth, which the labelling rules turn into class labels. The
+//! encrypted path builds the same feature matrices from reassembled
+//! sessions with labels supplied externally (instrumented-handset ground
+//! truth) — see `vqoe-core`'s pipelines.
+
+use crate::labels::{rq_label, stall_label, RqClass, StallClass};
+use crate::obs::SessionObs;
+use crate::representation::{representation_feature_names, representation_features};
+use crate::stall::{stall_feature_names, stall_features};
+use vqoe_ml::Dataset;
+use vqoe_player::SessionTrace;
+
+/// Build the §4.1 stall dataset (70 features) from labelled sessions.
+///
+/// The stall methodology "takes the entire dataset" (§3.1) —
+/// progressive and adaptive sessions alike.
+pub fn build_stall_dataset(traces: &[SessionTrace]) -> Dataset {
+    let mut x = Vec::with_capacity(traces.len());
+    let mut y = Vec::with_capacity(traces.len());
+    for t in traces {
+        let obs = SessionObs::from_trace(t);
+        x.push(stall_features(&obs));
+        y.push(stall_label(&t.ground_truth).index());
+    }
+    Dataset::new(stall_feature_names(), StallClass::names(), x, y)
+}
+
+/// Build a stall dataset from pre-extracted observations and labels
+/// (the encrypted-evaluation path).
+pub fn build_stall_dataset_from_obs(
+    sessions: &[(SessionObs, StallClass)],
+) -> Dataset {
+    let mut x = Vec::with_capacity(sessions.len());
+    let mut y = Vec::with_capacity(sessions.len());
+    for (obs, label) in sessions {
+        x.push(stall_features(obs));
+        y.push(label.index());
+    }
+    Dataset::new(stall_feature_names(), StallClass::names(), x, y)
+}
+
+/// Build the §4.2 average-representation dataset (210 features) from
+/// labelled sessions.
+///
+/// Only adaptive sessions belong here (§3.1: "we only keep the videos
+/// that made use of adaptive streaming"); non-adaptive traces are
+/// skipped.
+pub fn build_representation_dataset(traces: &[SessionTrace]) -> Dataset {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for t in traces {
+        if !t.config.delivery.is_adaptive() {
+            continue;
+        }
+        let obs = SessionObs::from_trace(t);
+        x.push(representation_features(&obs));
+        y.push(rq_label(&t.ground_truth).index());
+    }
+    Dataset::new(representation_feature_names(), RqClass::names(), x, y)
+}
+
+/// Build a representation dataset from pre-extracted observations and
+/// labels (the encrypted-evaluation path).
+pub fn build_representation_dataset_from_obs(
+    sessions: &[(SessionObs, RqClass)],
+) -> Dataset {
+    let mut x = Vec::with_capacity(sessions.len());
+    let mut y = Vec::with_capacity(sessions.len());
+    for (obs, label) in sessions {
+        x.push(representation_features(obs));
+        y.push(label.index());
+    }
+    Dataset::new(representation_feature_names(), RqClass::names(), x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqoe_player::{simulate_session, AbrKind, Delivery, SessionConfig};
+    use vqoe_simnet::channel::Scenario;
+    use vqoe_simnet::rng::SeedSequence;
+    use vqoe_simnet::time::Instant;
+
+    fn traces(n: u64) -> Vec<SessionTrace> {
+        let seeds = SeedSequence::new(4242);
+        (0..n)
+            .map(|i| {
+                let delivery = if i % 3 == 0 {
+                    Delivery::Dash(AbrKind::Hybrid)
+                } else {
+                    Delivery::Progressive
+                };
+                simulate_session(
+                    &SessionConfig {
+                        session_index: i,
+                        scenario: Scenario::StaticHome,
+                        delivery,
+                        start_time: Instant::ZERO,
+                        profile: Default::default(),
+                    },
+                    &seeds,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stall_dataset_covers_all_sessions() {
+        let ts = traces(9);
+        let d = build_stall_dataset(&ts);
+        assert_eq!(d.n_rows(), 9);
+        assert_eq!(d.n_features(), 70);
+        assert_eq!(d.n_classes(), 3);
+    }
+
+    #[test]
+    fn representation_dataset_keeps_only_adaptive() {
+        let ts = traces(9);
+        let adaptive = ts
+            .iter()
+            .filter(|t| t.config.delivery.is_adaptive())
+            .count();
+        let d = build_representation_dataset(&ts);
+        assert_eq!(d.n_rows(), adaptive);
+        assert_eq!(d.n_features(), 210);
+    }
+
+    #[test]
+    fn labels_match_ground_truth_rules() {
+        let ts = traces(6);
+        let d = build_stall_dataset(&ts);
+        for (i, t) in ts.iter().enumerate() {
+            assert_eq!(d.y[i], stall_label(&t.ground_truth).index());
+        }
+    }
+
+    #[test]
+    fn obs_builders_match_trace_builders() {
+        let ts = traces(6);
+        let d1 = build_stall_dataset(&ts);
+        let sessions: Vec<(SessionObs, StallClass)> = ts
+            .iter()
+            .map(|t| (SessionObs::from_trace(t), stall_label(&t.ground_truth)))
+            .collect();
+        let d2 = build_stall_dataset_from_obs(&sessions);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn feature_values_are_finite() {
+        let ts = traces(6);
+        for d in [build_stall_dataset(&ts), build_representation_dataset(&ts)] {
+            for row in &d.x {
+                assert!(row.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Provider-side traffic obfuscation (extension analysis).
+//!
+//! The paper shows that TLS alone does not hide QoE-relevant structure:
+//! chunk sizes and timings leak everything the detectors need. The
+//! obvious follow-up question — what *would* hide it? — matters both to
+//! operators (how robust is my monitoring?) and to providers weighing
+//! privacy countermeasures. This module implements the three classic
+//! shape-obfuscation techniques as transformations on the
+//! network-visible [`SessionObs`]:
+//!
+//! * [`pad_sizes`] — round every object size up to a multiple of a
+//!   padding quantum (constant-rate padding's cheap cousin; QUIC and
+//!   some CDNs support block padding).
+//! * [`jitter_timing`] — add random delay to each chunk's timestamps
+//!   (request shaping / batching proxies).
+//! * [`inject_dummies`] — insert decoy chunks drawn from the session's
+//!   own size distribution (cover traffic).
+//!
+//! The `obfuscation` experiment in `vqoe-bench` measures how much each
+//! technique, at increasing strength, degrades the trained detectors.
+
+use crate::obs::{ChunkObs, SessionObs};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Round every chunk size up to a multiple of `quantum` bytes.
+/// `quantum == 0` is the identity.
+pub fn pad_sizes(obs: &SessionObs, quantum: u64) -> SessionObs {
+    if quantum == 0 {
+        return obs.clone();
+    }
+    let q = quantum as f64;
+    SessionObs {
+        chunks: obs
+            .chunks
+            .iter()
+            .map(|c| ChunkObs {
+                bytes: (c.bytes / q).ceil() * q,
+                ..*c
+            })
+            .collect(),
+    }
+}
+
+/// Add independent uniform delay in `[0, max_jitter_secs]` to every
+/// chunk's arrival (requests shift with them; ordering is restored
+/// afterwards so the stream stays causally plausible).
+pub fn jitter_timing(obs: &SessionObs, max_jitter_secs: f64, rng: &mut StdRng) -> SessionObs {
+    if max_jitter_secs <= 0.0 {
+        return obs.clone();
+    }
+    let mut chunks: Vec<ChunkObs> = obs
+        .chunks
+        .iter()
+        .map(|c| {
+            let d = rng.gen_range(0.0..max_jitter_secs);
+            ChunkObs {
+                request_secs: c.request_secs + d,
+                arrival_secs: c.arrival_secs + d,
+                ..*c
+            }
+        })
+        .collect();
+    chunks.sort_by(|a, b| {
+        a.request_secs
+            .partial_cmp(&b.request_secs)
+            .expect("finite times")
+    });
+    SessionObs { chunks }
+}
+
+/// Insert `fraction` × len dummy chunks, each cloned from a random real
+/// chunk with its size re-drawn from the session's own empirical
+/// distribution and placed uniformly within the session span.
+pub fn inject_dummies(obs: &SessionObs, fraction: f64, rng: &mut StdRng) -> SessionObs {
+    if fraction <= 0.0 || obs.chunks.len() < 2 {
+        return obs.clone();
+    }
+    let n_dummies = ((obs.chunks.len() as f64) * fraction).round() as usize;
+    let t0 = obs.chunks.first().expect("non-empty").request_secs;
+    let t1 = obs.chunks.last().expect("non-empty").arrival_secs;
+    let mut chunks = obs.chunks.clone();
+    for _ in 0..n_dummies {
+        let donor = obs.chunks[rng.gen_range(0..obs.chunks.len())];
+        let size_donor = obs.chunks[rng.gen_range(0..obs.chunks.len())];
+        let start = rng.gen_range(t0..t1.max(t0 + 1e-6));
+        let duration = (donor.arrival_secs - donor.request_secs).max(0.01);
+        chunks.push(ChunkObs {
+            request_secs: start,
+            arrival_secs: start + duration,
+            bytes: size_donor.bytes,
+            ..donor
+        });
+    }
+    chunks.sort_by(|a, b| {
+        a.request_secs
+            .partial_cmp(&b.request_secs)
+            .expect("finite times")
+    });
+    SessionObs { chunks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chunk(req: f64, arr: f64, bytes: f64) -> ChunkObs {
+        ChunkObs {
+            request_secs: req,
+            arrival_secs: arr,
+            bytes,
+            rtt_min: 0.05,
+            rtt_mean: 0.06,
+            rtt_max: 0.08,
+            bdp: 50_000.0,
+            bif_mean: 20_000.0,
+            bif_max: 40_000.0,
+            loss: 0.0,
+            retx: 0.0,
+        }
+    }
+
+    fn obs() -> SessionObs {
+        SessionObs {
+            chunks: (0..10)
+                .map(|i| chunk(i as f64 * 3.0, i as f64 * 3.0 + 1.0, 100_000.0 + i as f64 * 7_000.0))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn padding_rounds_up_to_the_quantum() {
+        let padded = pad_sizes(&obs(), 64_000);
+        for c in &padded.chunks {
+            assert_eq!(c.bytes as u64 % 64_000, 0);
+        }
+        // Sizes never shrink.
+        for (orig, pad) in obs().chunks.iter().zip(padded.chunks.iter()) {
+            assert!(pad.bytes >= orig.bytes);
+            assert!(pad.bytes < orig.bytes + 64_000.0);
+        }
+    }
+
+    #[test]
+    fn zero_strength_is_the_identity() {
+        let o = obs();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(pad_sizes(&o, 0), o);
+        assert_eq!(jitter_timing(&o, 0.0, &mut rng), o);
+        assert_eq!(inject_dummies(&o, 0.0, &mut rng), o);
+    }
+
+    #[test]
+    fn padding_collapses_size_variance() {
+        // A big enough quantum makes all chunks identical — the whole
+        // point of the countermeasure.
+        let padded = pad_sizes(&obs(), 1_000_000);
+        let sizes: Vec<f64> = padded.chunks.iter().map(|c| c.bytes).collect();
+        assert!(sizes.iter().all(|&s| s == sizes[0]));
+    }
+
+    #[test]
+    fn jitter_keeps_chunks_ordered_and_durations_intact() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let jittered = jitter_timing(&obs(), 5.0, &mut rng);
+        for w in jittered.chunks.windows(2) {
+            assert!(w[0].request_secs <= w[1].request_secs);
+        }
+        for (orig, jit) in obs().chunks.iter().zip(jittered.chunks.iter()) {
+            // Individual chunk duration is preserved; only placement moves.
+            let d_orig = orig.arrival_secs - orig.request_secs;
+            let d_jit = jit.arrival_secs - jit.request_secs;
+            assert!((d_orig - d_jit).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dummies_increase_chunk_count_proportionally() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let defended = inject_dummies(&obs(), 0.5, &mut rng);
+        assert_eq!(defended.chunks.len(), 15);
+        for w in defended.chunks.windows(2) {
+            assert!(w[0].request_secs <= w[1].request_secs);
+        }
+    }
+
+    #[test]
+    fn dummy_sizes_come_from_the_real_distribution() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let real_sizes: Vec<f64> = obs().chunks.iter().map(|c| c.bytes).collect();
+        let defended = inject_dummies(&obs(), 1.0, &mut rng);
+        for c in &defended.chunks {
+            assert!(real_sizes.contains(&c.bytes), "alien size {}", c.bytes);
+        }
+    }
+
+    #[test]
+    fn degenerate_sessions_pass_through() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let single = SessionObs {
+            chunks: vec![chunk(0.0, 1.0, 5_000.0)],
+        };
+        assert_eq!(inject_dummies(&single, 0.5, &mut rng), single);
+        assert_eq!(pad_sizes(&SessionObs::default(), 4096).chunks.len(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Stratified k-fold cross-validation.
+//!
+//! §4: "we use ... the Random Forest algorithm and 10-fold
+//! cross-validation". Folds are stratified (each fold preserves the
+//! class mix) and, per §4.1's protocol, the *training* side of each fold
+//! is class-balanced by downsampling while the *test* side keeps its
+//! natural distribution — "the instances in the classes are then
+//! restored to their original numbers for testing".
+
+use crate::dataset::Dataset;
+use crate::forest::{ForestConfig, RandomForest};
+use crate::metrics::ConfusionMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Stratified fold assignment: returns `k` disjoint row-index lists
+/// whose union is `0..y.len()`, each approximating the global class mix.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn stratified_kfold(y: &[usize], k: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    assert!(k > 0, "need at least one fold");
+    let n_classes = y.iter().copied().max().map_or(0, |m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &label) in y.iter().enumerate() {
+        per_class[label].push(i);
+    }
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for rows in per_class.iter_mut() {
+        rows.shuffle(rng);
+        for (j, &row) in rows.iter().enumerate() {
+            folds[j % k].push(row);
+        }
+    }
+    folds
+}
+
+/// Run k-fold cross-validation of a Random Forest over `data`,
+/// aggregating one confusion matrix across folds.
+///
+/// `balance_training` applies the paper's balanced-train /
+/// natural-test protocol.
+pub fn cross_validate(
+    data: &Dataset,
+    k: usize,
+    forest_config: ForestConfig,
+    balance_training: bool,
+    seed: u64,
+) -> ConfusionMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let folds = stratified_kfold(&data.y, k, &mut rng);
+    let mut matrix = ConfusionMatrix::new(data.class_names.clone());
+    for test_fold in 0..k {
+        let test_rows = &folds[test_fold];
+        if test_rows.is_empty() {
+            continue;
+        }
+        let train_rows: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != test_fold)
+            .flat_map(|(_, rows)| rows.iter().copied())
+            .collect();
+        if train_rows.is_empty() {
+            continue;
+        }
+        let mut train = data.subset(&train_rows);
+        if balance_training {
+            train = train.balanced_downsample(&mut rng);
+        }
+        if train.n_rows() == 0 {
+            continue;
+        }
+        let mut cfg = forest_config;
+        cfg.seed = forest_config.seed.wrapping_add(test_fold as u64);
+        let forest = RandomForest::fit(&train, cfg);
+        let test = data.subset(test_rows);
+        let preds = forest.predict_all(&test);
+        for (&a, &p) in test.y.iter().zip(preds.iter()) {
+            matrix.record(a, p);
+        }
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let c = if rng.gen_bool(0.7) { 0 } else { 1 };
+            let base = c as f64 * 2.0;
+            x.push(vec![base + rng.gen_range(-0.8..0.8)]);
+            y.push(c);
+        }
+        Dataset::new(
+            vec!["f".into()],
+            vec!["common".into(), "rare".into()],
+            x,
+            y,
+        )
+    }
+
+    #[test]
+    fn folds_partition_all_rows() {
+        let d = dataset(103, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let folds = stratified_kfold(&d.y, 10, &mut rng);
+        assert_eq!(folds.len(), 10);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn folds_preserve_class_mix() {
+        let d = dataset(500, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let folds = stratified_kfold(&d.y, 5, &mut rng);
+        let global_frac =
+            d.y.iter().filter(|&&c| c == 0).count() as f64 / d.n_rows() as f64;
+        for fold in &folds {
+            let frac =
+                fold.iter().filter(|&&r| d.y[r] == 0).count() as f64 / fold.len() as f64;
+            assert!(
+                (frac - global_frac).abs() < 0.08,
+                "fold mix {frac} vs global {global_frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_sizes_are_balanced() {
+        let d = dataset(101, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let folds = stratified_kfold(&d.y, 10, &mut rng);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 2, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn cross_validation_covers_every_row_once() {
+        let d = dataset(120, 7);
+        let m = cross_validate(&d, 10, ForestConfig::default(), true, 42);
+        assert_eq!(m.total() as usize, d.n_rows());
+    }
+
+    #[test]
+    fn cross_validation_learns_a_separable_problem() {
+        let d = dataset(300, 8);
+        let m = cross_validate(&d, 10, ForestConfig::default(), true, 42);
+        assert!(m.accuracy() > 0.85, "accuracy {}", m.accuracy());
+    }
+
+    #[test]
+    fn cv_is_deterministic() {
+        let d = dataset(150, 9);
+        let a = cross_validate(&d, 5, ForestConfig::default(), true, 11);
+        let b = cross_validate(&d, 5, ForestConfig::default(), true, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_fold_degenerates_without_panicking() {
+        let d = dataset(20, 10);
+        // k=1: the only fold is the test fold, training side is empty →
+        // nothing is recorded, but nothing panics either.
+        let m = cross_validate(&d, 1, ForestConfig::default(), true, 12);
+        assert_eq!(m.total(), 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Labelled feature matrices.
+//!
+//! A [`Dataset`] is the interchange format between feature construction
+//! (`vqoe-features`), selection, training and evaluation: a dense
+//! row-major `f64` matrix with named columns and integer class labels.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// A labelled dataset: `x[row][feature]`, `y[row]` in `0..n_classes`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Column names, aligned with the inner axis of `x`.
+    pub feature_names: Vec<String>,
+    /// Class names, indexed by label value.
+    pub class_names: Vec<String>,
+    /// Feature rows.
+    pub x: Vec<Vec<f64>>,
+    /// Labels.
+    pub y: Vec<usize>,
+}
+
+impl Dataset {
+    /// Build a dataset, validating shape invariants.
+    ///
+    /// # Panics
+    /// Panics if row lengths disagree with `feature_names`, if `x` and
+    /// `y` differ in length, or if any label is out of range.
+    pub fn new(
+        feature_names: Vec<String>,
+        class_names: Vec<String>,
+        x: Vec<Vec<f64>>,
+        y: Vec<usize>,
+    ) -> Self {
+        assert_eq!(x.len(), y.len(), "row/label count mismatch");
+        for row in &x {
+            assert_eq!(row.len(), feature_names.len(), "row width mismatch");
+        }
+        for &label in &y {
+            assert!(label < class_names.len(), "label {label} out of range");
+        }
+        Dataset {
+            feature_names,
+            class_names,
+            x,
+            y,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Per-class row counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for &label in &self.y {
+            counts[label] += 1;
+        }
+        counts
+    }
+
+    /// One feature column as a vector.
+    pub fn column(&self, feature: usize) -> Vec<f64> {
+        self.x.iter().map(|row| row[feature]).collect()
+    }
+
+    /// A new dataset keeping only the given feature columns (in the
+    /// given order) — how a selected feature subset is materialized.
+    pub fn select_features(&self, features: &[usize]) -> Dataset {
+        let feature_names = features
+            .iter()
+            .map(|&f| self.feature_names[f].clone())
+            .collect();
+        let x = self
+            .x
+            .iter()
+            .map(|row| features.iter().map(|&f| row[f]).collect())
+            .collect();
+        Dataset {
+            feature_names,
+            class_names: self.class_names.clone(),
+            x,
+            y: self.y.clone(),
+        }
+    }
+
+    /// A new dataset keeping only the given rows (in the given order).
+    pub fn subset(&self, rows: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            class_names: self.class_names.clone(),
+            x: rows.iter().map(|&r| self.x[r].clone()).collect(),
+            y: rows.iter().map(|&r| self.y[r]).collect(),
+        }
+    }
+
+    /// Class-balance by downsampling every class to the size of the
+    /// rarest **non-empty** class (§4.1: "we balance the number of
+    /// instances among the three classes before training"). Rows are
+    /// chosen uniformly without replacement; the output is shuffled.
+    pub fn balanced_downsample(&self, rng: &mut StdRng) -> Dataset {
+        let counts = self.class_counts();
+        let target = counts
+            .iter()
+            .copied()
+            .filter(|&c| c > 0)
+            .min()
+            .unwrap_or(0);
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes()];
+        for (i, &label) in self.y.iter().enumerate() {
+            per_class[label].push(i);
+        }
+        let mut keep: Vec<usize> = Vec::new();
+        for rows in per_class.iter_mut() {
+            rows.shuffle(rng);
+            keep.extend(rows.iter().copied().take(target));
+        }
+        keep.shuffle(rng);
+        self.subset(&keep)
+    }
+
+    /// Append the rows of `other` (schemas must match).
+    ///
+    /// # Panics
+    /// Panics on schema mismatch.
+    pub fn extend(&mut self, other: &Dataset) {
+        assert_eq!(self.feature_names, other.feature_names, "schema mismatch");
+        assert_eq!(self.class_names, other.class_names, "class mismatch");
+        self.x.extend(other.x.iter().cloned());
+        self.y.extend(other.y.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec!["a".into(), "b".into()],
+            vec!["neg".into(), "pos".into()],
+            vec![
+                vec![1.0, 10.0],
+                vec![2.0, 20.0],
+                vec![3.0, 30.0],
+                vec![4.0, 40.0],
+                vec![5.0, 50.0],
+            ],
+            vec![0, 0, 0, 1, 1],
+        )
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let d = toy();
+        assert_eq!(d.n_rows(), 5);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.class_counts(), vec![3, 2]);
+        assert_eq!(d.column(1), vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row/label count mismatch")]
+    fn mismatched_lengths_panic() {
+        Dataset::new(
+            vec!["a".into()],
+            vec!["c".into()],
+            vec![vec![1.0]],
+            vec![0, 0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        Dataset::new(vec!["a".into()], vec!["c".into()], vec![vec![1.0]], vec![3]);
+    }
+
+    #[test]
+    fn select_features_projects_columns() {
+        let d = toy().select_features(&[1]);
+        assert_eq!(d.feature_names, vec!["b".to_string()]);
+        assert_eq!(d.x[0], vec![10.0]);
+        assert_eq!(d.y, toy().y);
+    }
+
+    #[test]
+    fn subset_picks_rows_in_order() {
+        let d = toy().subset(&[4, 0]);
+        assert_eq!(d.x, vec![vec![5.0, 50.0], vec![1.0, 10.0]]);
+        assert_eq!(d.y, vec![1, 0]);
+    }
+
+    #[test]
+    fn balanced_downsample_equalizes_classes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = toy().balanced_downsample(&mut rng);
+        assert_eq!(b.class_counts(), vec![2, 2]);
+        assert_eq!(b.n_rows(), 4);
+    }
+
+    #[test]
+    fn balanced_downsample_with_empty_class() {
+        let d = Dataset::new(
+            vec!["a".into()],
+            vec!["x".into(), "y".into(), "z".into()],
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec![0, 0, 1], // class z empty
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = d.balanced_downsample(&mut rng);
+        // Rarest non-empty class has 1 row.
+        assert_eq!(b.class_counts(), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn extend_appends_rows() {
+        let mut d = toy();
+        let e = toy();
+        d.extend(&e);
+        assert_eq!(d.n_rows(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "schema mismatch")]
+    fn extend_rejects_mismatched_schema() {
+        let mut d = toy();
+        let other = Dataset::new(
+            vec!["z".into(), "b".into()],
+            vec!["neg".into(), "pos".into()],
+            vec![vec![0.0, 0.0]],
+            vec![0],
+        );
+        d.extend(&other);
+    }
+}

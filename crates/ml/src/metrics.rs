@@ -1,0 +1,340 @@
+//! Evaluation metrics in the paper's reporting format.
+//!
+//! Tables 3, 6, 8 and 10 report, per class: TP Rate, FP Rate, Precision
+//! and Recall, plus a support-weighted average row; Tables 4, 7, 9 and
+//! 11 show row-normalized confusion matrices. [`ConfusionMatrix`]
+//! produces exactly those numbers (the paper's definitions, §4.1:
+//! "Precision is calculated as the ratio of TP over TP and FP ...
+//! Recall is equal to the ratio of TP divided by the total instances in
+//! this class").
+
+use serde::{Deserialize, Serialize};
+
+/// A confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Class names, indexing both axes.
+    pub class_names: Vec<String>,
+    counts: Vec<Vec<u64>>,
+}
+
+/// One row of the paper's classifier-output tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Class name.
+    pub class: String,
+    /// TP rate (== recall).
+    pub tp_rate: f64,
+    /// FP rate: false positives over all negatives of this class.
+    pub fp_rate: f64,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// Number of actual instances of the class.
+    pub support: u64,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix over the given classes.
+    pub fn new(class_names: Vec<String>) -> Self {
+        let k = class_names.len();
+        ConfusionMatrix {
+            class_names,
+            counts: vec![vec![0; k]; k],
+        }
+    }
+
+    /// Build from parallel actual/predicted label sequences.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or out-of-range labels.
+    pub fn from_predictions(
+        class_names: Vec<String>,
+        actual: &[usize],
+        predicted: &[usize],
+    ) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "length mismatch");
+        let mut m = ConfusionMatrix::new(class_names);
+        for (&a, &p) in actual.iter().zip(predicted.iter()) {
+            m.record(a, p);
+        }
+        m
+    }
+
+    /// Record one (actual, predicted) observation.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        self.counts[actual][predicted] += 1;
+    }
+
+    /// Merge another matrix (e.g. across CV folds).
+    ///
+    /// # Panics
+    /// Panics if class sets differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.class_names, other.class_names, "class mismatch");
+        for (row, orow) in self.counts.iter_mut().zip(other.counts.iter()) {
+            for (c, &oc) in row.iter_mut().zip(orow.iter()) {
+                *c += oc;
+            }
+        }
+    }
+
+    /// Raw count at `(actual, predicted)`.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual][predicted]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Number of actual instances of `class`.
+    pub fn support(&self, class: usize) -> u64 {
+        self.counts[class].iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// TP rate (recall) of `class`.
+    pub fn tp_rate(&self, class: usize) -> f64 {
+        let support = self.support(class);
+        if support == 0 {
+            return 0.0;
+        }
+        self.counts[class][class] as f64 / support as f64
+    }
+
+    /// FP rate of `class`: instances of *other* classes predicted as
+    /// `class`, over all instances of other classes.
+    pub fn fp_rate(&self, class: usize) -> f64 {
+        let mut fp = 0u64;
+        let mut negatives = 0u64;
+        for (actual, row) in self.counts.iter().enumerate() {
+            if actual == class {
+                continue;
+            }
+            fp += row[class];
+            negatives += row.iter().sum::<u64>();
+        }
+        if negatives == 0 {
+            return 0.0;
+        }
+        fp as f64 / negatives as f64
+    }
+
+    /// Precision of `class`: TP / (TP + FP).
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.counts[class][class];
+        let predicted: u64 = self.counts.iter().map(|row| row[class]).sum();
+        if predicted == 0 {
+            return 0.0;
+        }
+        tp as f64 / predicted as f64
+    }
+
+    /// Recall of `class` (alias of TP rate, per the paper's definitions).
+    pub fn recall(&self, class: usize) -> f64 {
+        self.tp_rate(class)
+    }
+
+    /// Per-class report rows, in class order.
+    pub fn class_reports(&self) -> Vec<ClassReport> {
+        (0..self.class_names.len())
+            .map(|c| ClassReport {
+                class: self.class_names[c].clone(),
+                tp_rate: self.tp_rate(c),
+                fp_rate: self.fp_rate(c),
+                precision: self.precision(c),
+                recall: self.recall(c),
+                support: self.support(c),
+            })
+            .collect()
+    }
+
+    /// Support-weighted average report (the paper's "weighted avg." row).
+    pub fn weighted_average(&self) -> ClassReport {
+        let total = self.total() as f64;
+        let mut avg = ClassReport {
+            class: "weighted avg.".to_string(),
+            tp_rate: 0.0,
+            fp_rate: 0.0,
+            precision: 0.0,
+            recall: 0.0,
+            support: self.total(),
+        };
+        if total == 0.0 {
+            return avg;
+        }
+        for c in 0..self.class_names.len() {
+            let w = self.support(c) as f64 / total;
+            avg.tp_rate += w * self.tp_rate(c);
+            avg.fp_rate += w * self.fp_rate(c);
+            avg.precision += w * self.precision(c);
+            avg.recall += w * self.recall(c);
+        }
+        avg
+    }
+
+    /// Row-normalized percentages, `out[actual][predicted]` in `[0,100]`
+    /// — the shape of the paper's confusion-matrix tables.
+    pub fn row_percentages(&self) -> Vec<Vec<f64>> {
+        self.counts
+            .iter()
+            .map(|row| {
+                let sum: u64 = row.iter().sum();
+                row.iter()
+                    .map(|&c| {
+                        if sum == 0 {
+                            0.0
+                        } else {
+                            100.0 * c as f64 / sum as f64
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let width = self
+            .class_names
+            .iter()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        write!(f, "{:width$} |", "actual\\pred")?;
+        for name in &self.class_names {
+            write!(f, " {name:>width$}")?;
+        }
+        writeln!(f)?;
+        let pcts = self.row_percentages();
+        for (i, name) in self.class_names.iter().enumerate() {
+            write!(f, "{name:width$} |")?;
+            for p in &pcts[i] {
+                write!(f, " {:>width$}", format!("{p:.1}%"))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 4 reconstructed as counts (per 1000 instances
+    /// of each class) to validate our metric formulas against its
+    /// Table 3 values.
+    fn paper_like() -> ConfusionMatrix {
+        let names = vec![
+            "no stalls".to_string(),
+            "mild stalls".to_string(),
+            "severe stalls".to_string(),
+        ];
+        let mut m = ConfusionMatrix::new(names);
+        // no stalls: 97.76% / 2.06% / 0.18% of, say, 10000
+        m.counts[0] = vec![9776, 206, 18];
+        // mild: 14.7 / 80.9 / 4.4 of 1000
+        m.counts[1] = vec![147, 809, 44];
+        // severe: 4.2 / 16.5 / 79.3 of 1000
+        m.counts[2] = vec![42, 165, 793];
+        m
+    }
+
+    #[test]
+    fn tp_rates_match_confusion_rows() {
+        let m = paper_like();
+        assert!((m.tp_rate(0) - 0.9776).abs() < 1e-4);
+        assert!((m.tp_rate(1) - 0.809).abs() < 1e-4);
+        assert!((m.tp_rate(2) - 0.793).abs() < 1e-4);
+    }
+
+    #[test]
+    fn precision_and_recall_formulas() {
+        let m = paper_like();
+        // precision(no stalls) = 9776 / (9776+147+42)
+        let p0 = 9776.0 / (9776.0 + 147.0 + 42.0);
+        assert!((m.precision(0) - p0).abs() < 1e-9);
+        assert_eq!(m.recall(1), m.tp_rate(1));
+    }
+
+    #[test]
+    fn fp_rate_counts_other_class_leakage() {
+        let m = paper_like();
+        // fp_rate(mild) = (206 + 165) / (10000 + 1000)
+        let expected = (206.0 + 165.0) / 11_000.0;
+        assert!((m.fp_rate(1) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_is_diagonal_over_total() {
+        let m = paper_like();
+        let acc = (9776.0 + 809.0 + 793.0) / 12_000.0;
+        assert!((m.accuracy() - acc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_average_uses_support() {
+        let m = paper_like();
+        let avg = m.weighted_average();
+        let expected = (10_000.0 * m.tp_rate(0) + 1_000.0 * m.tp_rate(1) + 1_000.0 * m.tp_rate(2))
+            / 12_000.0;
+        assert!((avg.tp_rate - expected).abs() < 1e-9);
+        assert_eq!(avg.support, 12_000);
+    }
+
+    #[test]
+    fn row_percentages_sum_to_100() {
+        let m = paper_like();
+        for row in m.row_percentages() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn from_predictions_and_merge() {
+        let names = vec!["a".to_string(), "b".to_string()];
+        let m1 = ConfusionMatrix::from_predictions(names.clone(), &[0, 1, 1], &[0, 1, 0]);
+        let mut m2 = ConfusionMatrix::from_predictions(names, &[0, 0], &[1, 0]);
+        m2.merge(&m1);
+        assert_eq!(m2.total(), 5);
+        assert_eq!(m2.count(1, 0), 1);
+        assert_eq!(m2.count(0, 1), 1);
+        assert_eq!(m2.count(0, 0), 2);
+    }
+
+    #[test]
+    fn empty_matrix_degenerates_gracefully() {
+        let m = ConfusionMatrix::new(vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.tp_rate(0), 0.0);
+        assert_eq!(m.fp_rate(0), 0.0);
+        assert_eq!(m.precision(0), 0.0);
+        let avg = m.weighted_average();
+        assert_eq!(avg.tp_rate, 0.0);
+    }
+
+    #[test]
+    fn display_renders_all_classes() {
+        let m = paper_like();
+        let s = m.to_string();
+        assert!(s.contains("no stalls"));
+        assert!(s.contains("severe stalls"));
+        assert!(s.contains("97.8%"));
+    }
+}

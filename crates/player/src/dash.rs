@@ -1,0 +1,343 @@
+//! HTTP Adaptive Streaming (DASH) player.
+//!
+//! §2.1: "HAS videos are split on the server in multiple segments, each
+//! one corresponding to a few seconds of playback time ... the player
+//! performs HTTP requests to fetch consecutive segments", choosing each
+//! segment's quality from throughput and buffer state.
+//!
+//! Mechanics reproduced here that the paper's detectors rely on:
+//!
+//! * **Start-up phase** — the session begins at the lowest rung with an
+//!   empty buffer, so the first segments are small and fetched
+//!   back-to-back. §4.3 filters the first ten seconds of every session
+//!   precisely because of this phase.
+//! * **Representation switches** — after the ABR moves to a new rung,
+//!   segment sizes jump and, because the buffer logic keeps requesting
+//!   eagerly until the cushion refills at the new byte-rate, inter-request
+//!   times shift too: the Δsize × Δt signature of Figure 3.
+//! * **Stall recovery** — a buffer outage drives the hybrid ABR into
+//!   panic mode (lowest rung) and requests go back-to-back: the
+//!   chunk-size collapse of Figure 1.
+//! * **Unmuxed audio** — each video segment is followed by its audio
+//!   sibling on the same connection, as the real service does; the
+//!   weblog therefore contains the small-chunk audio population visible
+//!   in the paper's Figure 5 size distribution.
+
+use crate::abr::{AbrConfig, AbrKind, AbrState};
+use crate::buffer::{BufferConfig, PlayerPhase, PlayoutBuffer};
+use crate::catalog::VideoMeta;
+use crate::session::{
+    ChunkRecord, ContentType, GroundTruth, Patience, SessionConfig, TransportSummary,
+};
+use rand::Rng;
+use vqoe_simnet::rng::SeedSequence;
+use vqoe_simnet::time::Duration;
+use vqoe_simnet::transfer::TransferEngine;
+
+// Segment duration, buffer watermarks and audio muxing come from the
+// session's [`crate::profile::StreamingProfile`].
+
+/// Simulate one DASH session with the given ABR family.
+pub fn simulate_dash(
+    config: &SessionConfig,
+    video: &VideoMeta,
+    patience: Patience,
+    abr_kind: AbrKind,
+    seeds: &SeedSequence,
+) -> (Vec<ChunkRecord>, GroundTruth) {
+    let mut rng = seeds.child(0xDA54).stream(config.session_index);
+    let mut engine = TransferEngine::new(config.scenario, seeds, config.session_index);
+    let mut abr = AbrState::new(abr_kind, AbrConfig::default(), video.max_itag);
+
+    let profile = config.profile;
+    let segment_media = profile.segment_secs;
+    let total_media = video.duration.as_secs_f64();
+    let n_segments = (total_media / segment_media).ceil() as usize;
+    let mut buffer = PlayoutBuffer::new(BufferConfig::default(), config.start_time, total_media);
+
+    let mut chunks: Vec<ChunkRecord> = Vec::new();
+    let mut segment_resolutions: Vec<u32> = Vec::new();
+    let mut now = config.start_time;
+    let mut abandoned = false;
+
+    for seg in 0..n_segments {
+        let stalled_so_far: Duration = buffer.stalls().iter().map(|s| s.duration).sum();
+        if stalled_so_far > patience.max_total_stall {
+            abandoned = true;
+            break;
+        }
+        if buffer.phase() == PlayerPhase::StartUp
+            && now.duration_since(config.start_time) > patience.max_startup_wait
+        {
+            abandoned = true;
+            break;
+        }
+
+        // Buffer full: wait until a segment's worth of room drains.
+        if buffer.buffered_secs() >= profile.dash_max_buffer {
+            if let Some(resume_at) =
+                buffer.time_when_buffer_reaches(profile.dash_max_buffer - segment_media)
+            {
+                buffer.advance_to(resume_at);
+                now = resume_at;
+            }
+        }
+
+        let seg_media = segment_media.min(total_media - seg as f64 * segment_media);
+        let media_span = Duration::from_secs_f64(seg_media);
+        let itag = abr.decide(
+            buffer.buffered_secs(),
+            video.complexity * profile.bitrate_scale,
+            buffer.phase() == PlayerPhase::StartUp,
+        );
+        segment_resolutions.push(itag.resolution());
+
+        // --- video segment (audio muxed in when the provider does so) ---
+        let vbytes = ((video.chunk_bytes(itag, media_span, !profile.unmuxed_audio, &mut rng)
+            as f64)
+            * profile.bitrate_scale) as u64;
+        let vres = engine.fetch(now, vbytes, None);
+        // A DASH segment is only playable once complete.
+        buffer.push_media(vres.stats.end, seg_media);
+        abr.observe_throughput(vres.stats.goodput_bps());
+        chunks.push(ChunkRecord {
+            index: chunks.len() as u32,
+            content_type: ContentType::Video,
+            request_time: vres.stats.start,
+            arrival_time: vres.stats.end,
+            bytes: vbytes,
+            itag: Some(itag),
+            media_secs: seg_media,
+            transport: TransportSummary::from(&vres.stats),
+        });
+
+        let mut last_end = vres.stats.end;
+        if profile.unmuxed_audio {
+            // --- audio sibling ---
+            let abytes = video.audio_chunk_bytes(media_span, &mut rng);
+            let gap_a: f64 = rng.gen_range(0.002..0.015);
+            let ares = engine.fetch(
+                vres.stats.end + Duration::from_secs_f64(gap_a),
+                abytes,
+                None,
+            );
+            chunks.push(ChunkRecord {
+                index: chunks.len() as u32,
+                content_type: ContentType::Audio,
+                request_time: ares.stats.start,
+                arrival_time: ares.stats.end,
+                bytes: abytes,
+                itag: None,
+                media_secs: seg_media,
+                transport: TransportSummary::from(&ares.stats),
+            });
+            last_end = ares.stats.end;
+        }
+
+        let gap: f64 = rng.gen_range(0.005..0.040);
+        now = last_end + Duration::from_secs_f64(gap);
+    }
+
+    let outcome = buffer.finish(now);
+    let ground_truth = GroundTruth {
+        stalls: outcome.stalls,
+        startup_delay: outcome.startup_delay,
+        playback_started: outcome.playback_started,
+        media_played: outcome.media_played,
+        session_end: outcome.session_end,
+        abandoned,
+        segment_resolutions,
+    };
+    (chunks, ground_truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Itag;
+    use crate::session::Delivery;
+    use vqoe_simnet::channel::Scenario;
+    use vqoe_simnet::time::Instant;
+
+    fn run(scenario: Scenario, idx: u64, abr: AbrKind) -> (Vec<ChunkRecord>, GroundTruth) {
+        let seeds = SeedSequence::new(5150);
+        let config = SessionConfig {
+            session_index: idx,
+            scenario,
+            delivery: Delivery::Dash(abr),
+            start_time: Instant::ZERO,
+            profile: Default::default(),
+        };
+        let mut meta_rng = seeds.child(0x5E55).stream(idx);
+        let video = VideoMeta::sample(&mut meta_rng);
+        let _ = crate::session::generate_session_id(&mut meta_rng);
+        let patience = Patience::sample(&mut meta_rng);
+        simulate_dash(&config, &video, patience, abr, &seeds)
+    }
+
+    #[test]
+    fn audio_follows_every_video_segment() {
+        let (chunks, _) = run(Scenario::StaticHome, 0, AbrKind::Hybrid);
+        assert!(!chunks.is_empty());
+        assert_eq!(chunks.len() % 2, 0);
+        for pair in chunks.chunks(2) {
+            assert_eq!(pair[0].content_type, ContentType::Video);
+            assert_eq!(pair[1].content_type, ContentType::Audio);
+            assert!(pair[0].itag.is_some());
+            assert!(pair[1].itag.is_none());
+        }
+    }
+
+    #[test]
+    fn quality_ramps_up_under_good_conditions() {
+        let seeds = SeedSequence::new(5150);
+        let mut eligible = 0;
+        let mut ramped = 0;
+        for idx in 0..25 {
+            // Re-derive the device cap the session was simulated with.
+            let mut meta_rng = seeds.child(0x5E55).stream(idx);
+            let video = VideoMeta::sample(&mut meta_rng);
+            let (chunks, gt) = run(Scenario::StaticHome, idx, AbrKind::Hybrid);
+            let first = chunks[0].itag.unwrap();
+            assert!(
+                first.ladder_index() <= Itag::Q360.ladder_index(),
+                "sessions start at (or below) the mobile default"
+            );
+            // Only devices that *can* exceed 480p count toward the ramp.
+            if gt.abandoned
+                || chunks.len() < 12
+                || video.max_itag.ladder_index() < Itag::Q480.ladder_index()
+            {
+                continue;
+            }
+            eligible += 1;
+            let best = chunks.iter().filter_map(|c| c.itag).max().unwrap();
+            if best.ladder_index() >= Itag::Q480.ladder_index() {
+                ramped += 1;
+            }
+        }
+        assert!(eligible >= 3, "too few eligible sessions: {eligible}");
+        assert!(
+            ramped * 3 >= eligible * 2,
+            "only {ramped}/{eligible} eligible sessions ramped up"
+        );
+    }
+
+    #[test]
+    fn switches_exist_and_match_ground_truth() {
+        let (chunks, gt) = run(Scenario::StaticHome, 1, AbrKind::Hybrid);
+        let video_resolutions: Vec<u32> = chunks
+            .iter()
+            .filter_map(|c| c.itag)
+            .map(|i| i.resolution())
+            .collect();
+        assert_eq!(video_resolutions, gt.segment_resolutions);
+        // Switch count must agree with the resolution sequence.
+        let distinct = {
+            let mut v = video_resolutions.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        if distinct > 1 {
+            assert!(gt.switch_count() >= distinct - 1);
+        } else {
+            assert_eq!(gt.switch_count(), 0);
+        }
+    }
+
+    #[test]
+    fn video_chunks_grow_with_quality() {
+        let (chunks, gt) = run(Scenario::StaticHome, 2, AbrKind::Hybrid);
+        if gt.abandoned {
+            return;
+        }
+        // Average 144p chunk vs average >=480p chunk sizes.
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        for c in chunks.iter().filter(|c| c.content_type == ContentType::Video) {
+            match c.itag.unwrap() {
+                Itag::Q144 => lo.push(c.bytes as f64),
+                i if i.resolution() >= 480 => hi.push(c.bytes as f64),
+                _ => {}
+            }
+        }
+        if !lo.is_empty() && !hi.is_empty() {
+            let mlo = lo.iter().sum::<f64>() / lo.len() as f64;
+            let mhi = hi.iter().sum::<f64>() / hi.len() as f64;
+            assert!(mhi > mlo * 3.0, "lo {mlo} hi {mhi}");
+        }
+    }
+
+    #[test]
+    fn adaptive_stalls_less_than_progressive_in_bad_networks() {
+        let seeds = SeedSequence::new(88);
+        let mut dash_stall_time = 0.0;
+        let mut prog_stall_time = 0.0;
+        for idx in 0..25 {
+            let config = SessionConfig {
+                session_index: idx,
+                scenario: Scenario::CongestedCell,
+                delivery: Delivery::Dash(AbrKind::Hybrid),
+                start_time: Instant::ZERO,
+                profile: Default::default(),
+            };
+            let mut meta_rng = seeds.child(0x5E55).stream(idx);
+            let video = VideoMeta::sample(&mut meta_rng);
+            let _ = crate::session::generate_session_id(&mut meta_rng);
+            let patience = Patience::sample(&mut meta_rng);
+            let (_, gt_dash) =
+                simulate_dash(&config, &video, patience, AbrKind::Hybrid, &seeds);
+            let (_, gt_prog) =
+                crate::progressive::simulate_progressive(&config, &video, patience, &seeds);
+            dash_stall_time += gt_dash.total_stall_time().as_secs_f64();
+            prog_stall_time += gt_prog.total_stall_time().as_secs_f64();
+        }
+        // Adaptation is the whole point: DASH must stall materially less.
+        assert!(
+            dash_stall_time < prog_stall_time,
+            "dash {dash_stall_time:.1}s vs progressive {prog_stall_time:.1}s"
+        );
+    }
+
+    #[test]
+    fn commuting_sessions_switch_more_than_static() {
+        let mut static_switches = 0usize;
+        let mut commute_switches = 0usize;
+        for idx in 0..20 {
+            let (_, gt_s) = run(Scenario::StaticHome, idx, AbrKind::Hybrid);
+            let (_, gt_c) = run(Scenario::Commuting, idx, AbrKind::Hybrid);
+            static_switches += gt_s.switch_count();
+            commute_switches += gt_c.switch_count();
+        }
+        assert!(
+            commute_switches > static_switches,
+            "static {static_switches} vs commuting {commute_switches}"
+        );
+    }
+
+    #[test]
+    fn deterministic_trace() {
+        let a = run(Scenario::Commuting, 4, AbrKind::Hybrid);
+        let b = run(Scenario::Commuting, 4, AbrKind::Hybrid);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn abandonment_truncates_segments() {
+        // Find an abandoned commuting session and check invariants.
+        for idx in 0..40 {
+            let (chunks, gt) = run(Scenario::Commuting, idx, AbrKind::Throughput);
+            if gt.abandoned {
+                let video_chunks = chunks
+                    .iter()
+                    .filter(|c| c.content_type == ContentType::Video)
+                    .count();
+                assert_eq!(video_chunks, gt.segment_resolutions.len());
+                return;
+            }
+        }
+        // Not finding one is acceptable at this sample size.
+    }
+}

@@ -1,0 +1,141 @@
+//! Provider streaming profiles.
+//!
+//! §7 of the paper: "we do not study the evaluation of the methodology
+//! with other video streaming services ... However, our analysis of
+//! other popular video streaming services such as Vevo, Vimeo,
+//! Dailymotion and so on, has revealed that they have adopted the same
+//! technologies" — and proposes generalization as future work. This
+//! module makes that future work runnable: a [`StreamingProfile`]
+//! captures the delivery parameters that differ across providers
+//! (segment duration, codec efficiency, pacing, buffer policy), and the
+//! players read every mechanical constant from it. The
+//! `generalization` experiment trains on one profile and evaluates on
+//! another.
+
+use serde::{Deserialize, Serialize};
+
+/// The delivery parameters of one streaming service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamingProfile {
+    /// DASH media segment duration (seconds).
+    pub segment_secs: f64,
+    /// DASH playout-buffer high watermark (media seconds).
+    pub dash_max_buffer: f64,
+    /// Codec-efficiency multiplier on the nominal ladder bitrates
+    /// (better encoders ⇒ < 1, older/faster encodes ⇒ > 1).
+    pub bitrate_scale: f64,
+    /// Whether DASH audio travels as separate chunks (YouTube) or muxed
+    /// into the video segments (several smaller providers).
+    pub unmuxed_audio: bool,
+    /// Progressive steady-state range-request size (media seconds).
+    pub prog_steady_chunk_secs: f64,
+    /// Progressive start-up range-request size (media seconds).
+    pub prog_startup_chunk_secs: f64,
+    /// Progressive stall-recovery range-request size (media seconds).
+    pub prog_recovery_chunk_secs: f64,
+    /// Progressive buffer high watermark (stop requesting).
+    pub prog_high_watermark: f64,
+    /// Progressive buffer resume watermark.
+    pub prog_resume_watermark: f64,
+    /// Progressive low watermark (requests become urgent below this).
+    pub prog_low_watermark: f64,
+    /// Server pacing rate as a multiple of the media bitrate.
+    pub pacing_factor: f64,
+}
+
+impl StreamingProfile {
+    /// The 2016 YouTube profile the paper studied (the workspace
+    /// default).
+    pub fn youtube() -> Self {
+        StreamingProfile {
+            segment_secs: 5.0,
+            dash_max_buffer: 28.0,
+            bitrate_scale: 1.0,
+            unmuxed_audio: true,
+            prog_steady_chunk_secs: 6.0,
+            prog_startup_chunk_secs: 3.0,
+            prog_recovery_chunk_secs: 1.0,
+            prog_high_watermark: 38.0,
+            prog_resume_watermark: 30.0,
+            prog_low_watermark: 8.0,
+            pacing_factor: 1.25,
+        }
+    }
+
+    /// A Vimeo-like alternative: shorter muxed segments, a more
+    /// efficient encode, a deeper buffer, gentler pacing — the §7
+    /// generalization target.
+    pub fn vimeo_like() -> Self {
+        StreamingProfile {
+            segment_secs: 4.0,
+            dash_max_buffer: 40.0,
+            bitrate_scale: 0.85,
+            unmuxed_audio: false,
+            prog_steady_chunk_secs: 8.0,
+            prog_startup_chunk_secs: 4.0,
+            prog_recovery_chunk_secs: 2.0,
+            prog_high_watermark: 45.0,
+            prog_resume_watermark: 36.0,
+            prog_low_watermark: 10.0,
+            pacing_factor: 1.5,
+        }
+    }
+
+    /// A Dailymotion-like alternative: longer segments, heavier encodes.
+    pub fn dailymotion_like() -> Self {
+        StreamingProfile {
+            segment_secs: 6.0,
+            dash_max_buffer: 24.0,
+            bitrate_scale: 1.15,
+            unmuxed_audio: true,
+            prog_steady_chunk_secs: 10.0,
+            prog_startup_chunk_secs: 4.0,
+            prog_recovery_chunk_secs: 1.5,
+            prog_high_watermark: 32.0,
+            prog_resume_watermark: 26.0,
+            prog_low_watermark: 7.0,
+            pacing_factor: 1.25,
+        }
+    }
+}
+
+impl Default for StreamingProfile {
+    fn default() -> Self {
+        StreamingProfile::youtube()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_youtube_profile() {
+        assert_eq!(StreamingProfile::default(), StreamingProfile::youtube());
+    }
+
+    #[test]
+    fn profiles_are_structurally_sane() {
+        for p in [
+            StreamingProfile::youtube(),
+            StreamingProfile::vimeo_like(),
+            StreamingProfile::dailymotion_like(),
+        ] {
+            assert!(p.segment_secs > 0.0);
+            assert!(p.prog_resume_watermark < p.prog_high_watermark);
+            assert!(p.prog_low_watermark < p.prog_resume_watermark);
+            assert!(p.prog_recovery_chunk_secs <= p.prog_startup_chunk_secs);
+            assert!(p.pacing_factor >= 1.0, "pacing below media rate starves");
+            assert!(p.bitrate_scale > 0.3 && p.bitrate_scale < 3.0);
+        }
+    }
+
+    #[test]
+    fn profiles_differ_where_it_matters() {
+        let yt = StreamingProfile::youtube();
+        let vim = StreamingProfile::vimeo_like();
+        assert_ne!(yt.segment_secs, vim.segment_secs);
+        assert_ne!(yt.unmuxed_audio, vim.unmuxed_audio);
+        assert_ne!(yt.bitrate_scale, vim.bitrate_scale);
+    }
+}

@@ -1,0 +1,536 @@
+//! Markov-modulated radio channel.
+//!
+//! Mobile radio conditions are well modelled as a continuous-time Markov
+//! chain over a small set of quality states, each with characteristic
+//! capacity / latency / loss. The paper leans on exactly this contrast:
+//!
+//! * The cleartext training set (§3) comes from everyday traffic, mostly
+//!   from users at rest — our `StaticHome` / `StaticOffice` scenarios.
+//! * The encrypted evaluation set (§5.2) was produced by a user who "was
+//!   motivated to launch the application when moving to increase the
+//!   probability of QoE issues" — our `Commuting` scenario, and §5.4
+//!   attributes the evaluation-set differences (shorter chunk
+//!   inter-arrivals, more borderline-severe stalls) to those degraded,
+//!   volatile conditions.
+//!
+//! A channel is advanced lazily: callers move the clock with
+//! [`RadioChannel::advance_to`] and read the instantaneous capacity, base
+//! RTT and loss rate. Within one dwell period the capacity is a fixed
+//! lognormal draw around the state mean, so consecutive chunks see
+//! correlated — not i.i.d. — conditions, which is what lets the paper's
+//! session-level summary features carry signal.
+
+use crate::rng::SeedSequence;
+use crate::time::{Duration, Instant};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Discrete radio quality states, ordered best to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RadioState {
+    /// Strong signal, near the cell: tens of Mbps.
+    Excellent,
+    /// Typical good coverage.
+    Good,
+    /// Usable but constrained (cell edge, light congestion).
+    Fair,
+    /// Heavily degraded (deep indoor, handover zones).
+    Poor,
+    /// Near-outage: the connection survives but crawls.
+    Outage,
+}
+
+/// All states, best to worst. Index order matches the transition matrices.
+pub const ALL_STATES: [RadioState; 5] = [
+    RadioState::Excellent,
+    RadioState::Good,
+    RadioState::Fair,
+    RadioState::Poor,
+    RadioState::Outage,
+];
+
+impl RadioState {
+    fn index(self) -> usize {
+        match self {
+            RadioState::Excellent => 0,
+            RadioState::Good => 1,
+            RadioState::Fair => 2,
+            RadioState::Poor => 3,
+            RadioState::Outage => 4,
+        }
+    }
+}
+
+/// Static parameters of one radio state under one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelParams {
+    /// Mean downlink capacity in bits per second.
+    pub mean_capacity_bps: f64,
+    /// σ of the lognormal per-dwell capacity draw.
+    pub capacity_sigma: f64,
+    /// Propagation + scheduling base RTT.
+    pub base_rtt: Duration,
+    /// Mean of the per-round exponential RTT jitter (milliseconds).
+    pub rtt_jitter_ms: f64,
+    /// Per-packet loss probability.
+    pub loss_rate: f64,
+    /// Mean dwell time in this state.
+    pub mean_dwell: Duration,
+}
+
+/// Per-state baseline parameters (2016-era 3G/early-LTE mobile numbers).
+fn base_params(state: RadioState) -> ChannelParams {
+    match state {
+        RadioState::Excellent => ChannelParams {
+            mean_capacity_bps: 25e6,
+            capacity_sigma: 0.20,
+            base_rtt: Duration::from_millis(45),
+            rtt_jitter_ms: 4.0,
+            loss_rate: 0.0002,
+            mean_dwell: Duration::from_secs(60),
+        },
+        RadioState::Good => ChannelParams {
+            mean_capacity_bps: 12e6,
+            capacity_sigma: 0.25,
+            base_rtt: Duration::from_millis(55),
+            rtt_jitter_ms: 6.0,
+            loss_rate: 0.0004,
+            mean_dwell: Duration::from_secs(45),
+        },
+        RadioState::Fair => ChannelParams {
+            mean_capacity_bps: 4.5e6,
+            capacity_sigma: 0.30,
+            base_rtt: Duration::from_millis(75),
+            rtt_jitter_ms: 10.0,
+            loss_rate: 0.001,
+            mean_dwell: Duration::from_secs(20),
+        },
+        RadioState::Poor => ChannelParams {
+            mean_capacity_bps: 0.45e6,
+            capacity_sigma: 0.40,
+            base_rtt: Duration::from_millis(120),
+            rtt_jitter_ms: 20.0,
+            loss_rate: 0.003,
+            mean_dwell: Duration::from_secs(10),
+        },
+        RadioState::Outage => ChannelParams {
+            mean_capacity_bps: 0.08e6,
+            capacity_sigma: 0.40,
+            base_rtt: Duration::from_millis(350),
+            rtt_jitter_ms: 60.0,
+            loss_rate: 0.008,
+            mean_dwell: Duration::from_secs(4),
+        },
+    }
+}
+
+/// Mobility / congestion scenario presets.
+///
+/// Each scenario fixes the Markov chain (initial distribution, transition
+/// matrix, dwell-time scaling) plus optional overrides of the per-state
+/// parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// User at home on good fixed coverage. Dominates the cleartext set.
+    StaticHome,
+    /// User at an office; slightly busier cell.
+    StaticOffice,
+    /// User on the move: volatile states, frequent degradation. Dominates
+    /// the encrypted evaluation set (§5.2).
+    Commuting,
+    /// A stationary but overloaded cell: sticky Fair/Poor with inflated
+    /// queueing RTT.
+    CongestedCell,
+}
+
+impl Scenario {
+    /// Parameters of `state` under this scenario.
+    pub fn params(self, state: RadioState) -> ChannelParams {
+        let mut p = base_params(state);
+        match self {
+            Scenario::StaticHome => {}
+            Scenario::StaticOffice => {
+                p.mean_capacity_bps *= 0.9;
+            }
+            Scenario::Commuting => {
+                // Mobility shortens good-state dwells drastically (cells
+                // fly past), but degraded stretches are *long* — tunnels,
+                // cuttings, station canyons. This asymmetry is what makes
+                // commuting sessions stall despite adaptive streaming:
+                // the §5.4 contrast between the static (healthy) and
+                // moving (problematic) encrypted sessions.
+                p.mean_dwell = match state {
+                    RadioState::Poor => Duration::from_secs(25),
+                    // Longer than any playout buffer: an outage on the
+                    // move almost always costs a stall, so the healthy
+                    // and problematic populations separate the way the
+                    // paper's encrypted dataset did (§5.4).
+                    RadioState::Outage => Duration::from_secs(22),
+                    _ => p.mean_dwell.mul_f64(0.25),
+                };
+                p.rtt_jitter_ms *= 1.5;
+                p.capacity_sigma += 0.05;
+            }
+            Scenario::CongestedCell => {
+                // Queueing at the eNodeB: less capacity, fatter RTT.
+                p.mean_capacity_bps *= 0.6;
+                p.base_rtt = p.base_rtt.mul_f64(1.8);
+                p.rtt_jitter_ms *= 2.0;
+                p.loss_rate *= 1.5;
+            }
+        }
+        p
+    }
+
+    /// Initial state distribution (probability per state, summing to 1).
+    pub fn initial_distribution(self) -> [f64; 5] {
+        match self {
+            Scenario::StaticHome => [0.40, 0.40, 0.15, 0.05, 0.00],
+            Scenario::StaticOffice => [0.30, 0.45, 0.20, 0.05, 0.00],
+            Scenario::Commuting => [0.03, 0.10, 0.25, 0.40, 0.22],
+            Scenario::CongestedCell => [0.03, 0.17, 0.50, 0.25, 0.05],
+        }
+    }
+
+    /// Row of the transition matrix for `from` (probability of the *next*
+    /// state after a dwell expires; rows sum to 1).
+    pub fn transition_row(self, from: RadioState) -> [f64; 5] {
+        let m: [[f64; 5]; 5] = match self {
+            Scenario::StaticHome => [
+                [0.70, 0.25, 0.05, 0.00, 0.00],
+                [0.25, 0.60, 0.13, 0.02, 0.00],
+                [0.05, 0.45, 0.40, 0.09, 0.01],
+                [0.00, 0.15, 0.55, 0.25, 0.05],
+                [0.00, 0.05, 0.35, 0.45, 0.15],
+            ],
+            Scenario::StaticOffice => [
+                [0.55, 0.35, 0.10, 0.00, 0.00],
+                [0.20, 0.55, 0.20, 0.05, 0.00],
+                [0.05, 0.40, 0.40, 0.13, 0.02],
+                [0.00, 0.10, 0.55, 0.28, 0.07],
+                [0.00, 0.05, 0.30, 0.45, 0.20],
+            ],
+            Scenario::Commuting => [
+                [0.25, 0.35, 0.25, 0.10, 0.05],
+                [0.10, 0.30, 0.33, 0.20, 0.07],
+                [0.04, 0.20, 0.36, 0.28, 0.12],
+                [0.02, 0.08, 0.30, 0.40, 0.20],
+                [0.00, 0.04, 0.20, 0.46, 0.30],
+            ],
+            Scenario::CongestedCell => [
+                [0.10, 0.40, 0.40, 0.10, 0.00],
+                [0.05, 0.30, 0.45, 0.18, 0.02],
+                [0.01, 0.15, 0.50, 0.28, 0.06],
+                [0.00, 0.05, 0.35, 0.45, 0.15],
+                [0.00, 0.02, 0.25, 0.48, 0.25],
+            ],
+        };
+        m[from.index()]
+    }
+}
+
+/// The evolving radio channel one device experiences.
+#[derive(Debug, Clone)]
+pub struct RadioChannel {
+    scenario: Scenario,
+    rng: StdRng,
+    now: Instant,
+    state: RadioState,
+    dwell_until: Instant,
+    /// Per-dwell lognormal capacity draw (bps).
+    dwell_capacity_bps: f64,
+    /// Per-dwell cross-traffic loss component, added to the state's
+    /// baseline. Real cells see sporadic loss bursts from interference
+    /// and cross traffic even in good radio states; without this noise
+    /// the retransmission counters would be a perfect stall oracle,
+    /// which no real network offers.
+    dwell_extra_loss: f64,
+}
+
+impl RadioChannel {
+    /// Create a channel for `scenario`, seeded from `seeds` stream
+    /// `stream_index` (typically the session index).
+    pub fn new(scenario: Scenario, seeds: &SeedSequence, stream_index: u64) -> Self {
+        let mut rng = seeds.child(0xC4A7).stream(stream_index);
+        let state = sample_categorical(&mut rng, &scenario.initial_distribution());
+        let mut ch = RadioChannel {
+            scenario,
+            rng,
+            now: Instant::ZERO,
+            state,
+            dwell_until: Instant::ZERO,
+            dwell_capacity_bps: 0.0,
+            dwell_extra_loss: 0.0,
+        };
+        ch.enter_state(state);
+        ch
+    }
+
+    fn enter_state(&mut self, state: RadioState) {
+        self.state = state;
+        let p = self.scenario.params(state);
+        // Exponential dwell with the scenario's mean.
+        let u: f64 = self.rng.gen_range(1e-9..1.0);
+        let dwell = p.mean_dwell.mul_f64(-u.ln());
+        // Clamp dwells into [0.5 s, 10 min] to keep traces well-behaved.
+        let dwell_us = dwell.as_micros().clamp(500_000, 600_000_000);
+        self.dwell_until = self.now + Duration(dwell_us);
+        // Lognormal capacity draw centred on the state mean.
+        let z = sample_standard_normal(&mut self.rng);
+        self.dwell_capacity_bps = p.mean_capacity_bps * (z * p.capacity_sigma).exp();
+        // Sporadic cross-traffic loss, state-independent: the cellular
+        // link layer (RLC/HARQ) hides radio loss from TCP, so the
+        // residual random loss a mid-path proxy sees is decoupled from
+        // the radio state. Most TCP loss instead comes from self-induced
+        // bottleneck-queue overflow, modelled in `tcp.rs`. Together these
+        // keep retransmission counts weakly informative about stalls —
+        // the paper measures only 0.12 bits of gain for retx max
+        // (Table 2) despite stalls being bandwidth starvation events.
+        self.dwell_extra_loss = if self.rng.gen_bool(0.3) {
+            let u: f64 = self.rng.gen_range(1e-9..1.0);
+            (-u.ln() * 0.002).min(0.01)
+        } else {
+            0.0
+        };
+    }
+
+    /// Advance simulated time to `t`, stepping the Markov chain through
+    /// however many dwell expirations fall in the interval. Time never
+    /// moves backwards; stale calls are no-ops.
+    pub fn advance_to(&mut self, t: Instant) {
+        if t <= self.now {
+            return;
+        }
+        self.now = t;
+        while self.now >= self.dwell_until {
+            let row = self.scenario.transition_row(self.state);
+            let next = sample_categorical(&mut self.rng, &row);
+            // `enter_state` computes the next dwell relative to `self.now`;
+            // anchor it at the expiry point so dwell boundaries are exact.
+            let resume_at = self.dwell_until;
+            let saved_now = self.now;
+            self.now = resume_at;
+            self.enter_state(next);
+            self.now = saved_now;
+            if self.dwell_until <= resume_at {
+                // Defensive: guarantee forward progress.
+                self.dwell_until = resume_at + Duration::from_millis(500);
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Current radio state.
+    pub fn state(&self) -> RadioState {
+        self.state
+    }
+
+    /// Scenario this channel was built for.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// Instantaneous downlink capacity (bps) — the per-dwell draw.
+    pub fn capacity_bps(&self) -> f64 {
+        self.dwell_capacity_bps
+    }
+
+    /// Per-packet loss probability in the current state (radio baseline
+    /// plus the per-dwell cross-traffic component).
+    pub fn loss_rate(&self) -> f64 {
+        self.scenario.params(self.state).loss_rate + self.dwell_extra_loss
+    }
+
+    /// Base (unloaded) RTT in the current state.
+    pub fn base_rtt(&self) -> Duration {
+        self.scenario.params(self.state).base_rtt
+    }
+
+    /// Draw one RTT jitter sample (exponential, state-dependent mean).
+    pub fn sample_rtt_jitter(&mut self) -> Duration {
+        let mean_ms = self.scenario.params(self.state).rtt_jitter_ms;
+        let u: f64 = self.rng.gen_range(1e-9..1.0);
+        Duration::from_secs_f64(-u.ln() * mean_ms / 1e3)
+    }
+
+    /// Bandwidth-delay product (bytes) of the current conditions — the
+    /// quantity the paper's proxy reports as "BDP" (§3.1: "the link's
+    /// capacity [multiplied by] its round-trip delay ... the maximum
+    /// amount of bytes that can be transferred by the link at any given
+    /// time").
+    pub fn bdp_bytes(&self) -> f64 {
+        self.dwell_capacity_bps * self.base_rtt().as_secs_f64() / 8.0
+    }
+}
+
+fn sample_categorical(rng: &mut StdRng, probs: &[f64; 5]) -> RadioState {
+    let total: f64 = probs.iter().sum();
+    let mut x: f64 = rng.gen_range(0.0..total.max(1e-12));
+    for (i, &p) in probs.iter().enumerate() {
+        if x < p {
+            return ALL_STATES[i];
+        }
+        x -= p;
+    }
+    ALL_STATES[4]
+}
+
+/// Box–Muller standard normal.
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn channel(scenario: Scenario, idx: u64) -> RadioChannel {
+        RadioChannel::new(scenario, &SeedSequence::new(1234), idx)
+    }
+
+    #[test]
+    fn transition_rows_are_stochastic() {
+        for scenario in [
+            Scenario::StaticHome,
+            Scenario::StaticOffice,
+            Scenario::Commuting,
+            Scenario::CongestedCell,
+        ] {
+            let init: f64 = scenario.initial_distribution().iter().sum();
+            assert!((init - 1.0).abs() < 1e-9, "{scenario:?} init sums to {init}");
+            for s in ALL_STATES {
+                let row_sum: f64 = scenario.transition_row(s).iter().sum();
+                assert!(
+                    (row_sum - 1.0).abs() < 1e-9,
+                    "{scenario:?}/{s:?} row sums to {row_sum}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_trajectory() {
+        let mut a = channel(Scenario::Commuting, 5);
+        let mut b = channel(Scenario::Commuting, 5);
+        for step in 1..200u64 {
+            let t = Instant::from_millis(step * 750);
+            a.advance_to(t);
+            b.advance_to(t);
+            assert_eq!(a.state(), b.state(), "diverged at step {step}");
+            assert_eq!(a.capacity_bps(), b.capacity_bps());
+        }
+    }
+
+    #[test]
+    fn different_sessions_see_different_trajectories() {
+        let mut a = channel(Scenario::Commuting, 0);
+        let mut b = channel(Scenario::Commuting, 1);
+        let mut any_diff = false;
+        for step in 1..100u64 {
+            let t = Instant::from_secs(step);
+            a.advance_to(t);
+            b.advance_to(t);
+            if a.state() != b.state() || a.capacity_bps() != b.capacity_bps() {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn time_never_runs_backwards() {
+        let mut ch = channel(Scenario::StaticHome, 0);
+        ch.advance_to(Instant::from_secs(100));
+        let state = ch.state();
+        let cap = ch.capacity_bps();
+        // Stale advance is a no-op.
+        ch.advance_to(Instant::from_secs(50));
+        assert_eq!(ch.now(), Instant::from_secs(100));
+        assert_eq!(ch.state(), state);
+        assert_eq!(ch.capacity_bps(), cap);
+    }
+
+    #[test]
+    fn commuting_is_more_degraded_than_static_home() {
+        // Over many sessions, the commuting scenario must spend clearly
+        // more time in Poor/Outage — that asymmetry is what drives the
+        // paper's encrypted-vs-cleartext differences.
+        let seeds = SeedSequence::new(7);
+        let mut degraded = [0u32; 2];
+        let mut total = [0u32; 2];
+        for (si, scenario) in [Scenario::StaticHome, Scenario::Commuting].iter().enumerate() {
+            for idx in 0..60 {
+                let mut ch = RadioChannel::new(*scenario, &seeds, idx);
+                for step in 1..120u64 {
+                    ch.advance_to(Instant::from_secs(step * 2));
+                    total[si] += 1;
+                    if matches!(ch.state(), RadioState::Poor | RadioState::Outage) {
+                        degraded[si] += 1;
+                    }
+                }
+            }
+        }
+        let frac_home = degraded[0] as f64 / total[0] as f64;
+        let frac_commute = degraded[1] as f64 / total[1] as f64;
+        assert!(
+            frac_commute > 2.0 * frac_home,
+            "home {frac_home:.3} vs commute {frac_commute:.3}"
+        );
+    }
+
+    #[test]
+    fn capacity_tracks_state_ordering_on_average() {
+        let seeds = SeedSequence::new(21);
+        let mut sums = [0.0f64; 5];
+        let mut counts = [0u32; 5];
+        for idx in 0..40 {
+            let mut ch = RadioChannel::new(Scenario::Commuting, &seeds, idx);
+            for step in 1..200u64 {
+                ch.advance_to(Instant::from_secs(step));
+                let i = ch.state().index();
+                sums[i] += ch.capacity_bps();
+                counts[i] += 1;
+            }
+        }
+        let means: Vec<f64> = (0..5)
+            .map(|i| if counts[i] > 0 { sums[i] / counts[i] as f64 } else { 0.0 })
+            .collect();
+        // Excellent > Good > Fair > Poor > Outage wherever observed.
+        for w in means.windows(2) {
+            if w[0] > 0.0 && w[1] > 0.0 {
+                assert!(w[0] > w[1], "means not ordered: {means:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bdp_is_capacity_times_rtt() {
+        let mut ch = channel(Scenario::StaticHome, 3);
+        ch.advance_to(Instant::from_secs(1));
+        let expected = ch.capacity_bps() * ch.base_rtt().as_secs_f64() / 8.0;
+        assert!((ch.bdp_bytes() - expected).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_advance_is_monotone_and_total(steps in proptest::collection::vec(1u64..30, 1..50), idx in 0u64..1000) {
+            let mut ch = channel(Scenario::Commuting, idx);
+            let mut t = Instant::ZERO;
+            for s in steps {
+                t += Duration::from_secs(s);
+                ch.advance_to(t);
+                prop_assert_eq!(ch.now(), t);
+                prop_assert!(ch.capacity_bps() > 0.0);
+                prop_assert!(ch.loss_rate() >= 0.0 && ch.loss_rate() < 0.5);
+            }
+        }
+    }
+}

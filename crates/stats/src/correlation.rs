@@ -1,0 +1,177 @@
+//! Linear and rank correlation between numeric columns.
+//!
+//! Pearson correlation backs the dataset-comparison analysis (§5.3) and
+//! the continuous variant of the CFS merit; Spearman is provided for the
+//! heavy-tailed transport metrics where a monotone-but-nonlinear relation
+//! (e.g. chunk size vs. encoded bitrate) is the interesting signal.
+
+/// Pearson product–moment correlation of two equal-length columns.
+///
+/// Returns `0.0` when either column is constant or shorter than 2
+/// observations (no linear relation measurable).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "column length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = crate::moments::mean(x);
+    let my = crate::moments::mean(y);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    (cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Spearman rank correlation (Pearson over mid-ranks, handling ties).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "column length mismatch");
+    let rx = midranks(x);
+    let ry = midranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Mid-rank transform: ties get the average of the ranks they span.
+fn midranks(data: &[f64]) -> Vec<f64> {
+    let n = data.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        data[a]
+            .partial_cmp(&data[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        // positions i..=j share the mid-rank
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = mid;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_positive_linear_relation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative_linear_relation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_yields_zero() {
+        let x = [5.0, 5.0, 5.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn short_columns_yield_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn spearman_sees_monotone_nonlinear_relations() {
+        let x = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        // Pearson is noticeably below 1 for the same data.
+        assert!(pearson(&x, &y) < 0.95);
+    }
+
+    #[test]
+    fn spearman_handles_ties_with_midranks() {
+        let x = [1.0, 1.0, 2.0];
+        let r = midranks(&x);
+        assert_eq!(r, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn known_pearson_value() {
+        // hand-computed: r = 0.9037 for this small table
+        let x = [43.0, 21.0, 25.0, 42.0, 57.0, 59.0];
+        let y = [99.0, 65.0, 79.0, 75.0, 87.0, 81.0];
+        assert!((pearson(&x, &y) - 0.5298).abs() < 1e-3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pearson_bounded(
+            pairs in proptest::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 2..100)
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|&(a, _)| a).collect();
+            let y: Vec<f64> = pairs.iter().map(|&(_, b)| b).collect();
+            let r = pearson(&x, &y);
+            prop_assert!((-1.0..=1.0).contains(&r));
+        }
+
+        #[test]
+        fn prop_pearson_symmetric(
+            pairs in proptest::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 2..100)
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|&(a, _)| a).collect();
+            let y: Vec<f64> = pairs.iter().map(|&(_, b)| b).collect();
+            prop_assert!((pearson(&x, &y) - pearson(&y, &x)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_pearson_self_correlation_is_one(
+            x in proptest::collection::vec(-1e4f64..1e4, 2..100)
+        ) {
+            // Skip constant vectors, where the convention returns 0.
+            let constant = x.iter().all(|&v| v == x[0]);
+            prop_assume!(!constant);
+            prop_assert!((pearson(&x, &x) - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_spearman_invariant_under_monotone_transform(
+            x in proptest::collection::vec(0.1f64..1e3, 3..50)
+        ) {
+            let y: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+            let distinct = {
+                let mut s = x.clone();
+                s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                s.dedup();
+                s.len() > 1
+            };
+            prop_assume!(distinct);
+            prop_assert!((spearman(&x, &y) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Means, variances and an online (Welford) moment accumulator.
+//!
+//! The variance convention matters for the reproduction: the paper's
+//! feature tables (Tables 2 and 5) use the *standard deviation over the
+//! chunks of one session* as a feature. We follow the population
+//! convention (`1/n`) for those per-session features — a session's chunks
+//! are the whole population of interest, not a sample from a larger one —
+//! and expose the sample convention (`1/(n-1)`) separately for the few
+//! places (CFS correlations) where an unbiased estimator is appropriate.
+
+/// Arithmetic mean of `data`. Returns `0.0` for an empty slice.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Population variance (normalized by `n`). Returns `0.0` for `n < 1`.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / data.len() as f64
+}
+
+/// Population standard deviation (normalized by `n`).
+pub fn population_std(data: &[f64]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Sample standard deviation (normalized by `n - 1`).
+/// Returns `0.0` for `n < 2`.
+pub fn sample_std(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    let ss: f64 = data.iter().map(|v| (v - m) * (v - m)).sum();
+    (ss / (data.len() - 1) as f64).sqrt()
+}
+
+/// Numerically stable streaming mean/variance accumulator
+/// (Welford's algorithm).
+///
+/// Used where the dataset is produced incrementally — e.g. the per-round
+/// bytes-in-flight samples emitted by the TCP model — so we never need to
+/// buffer a whole session's packet-level history just to compute a summary
+/// statistic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineMoments {
+    /// Fresh accumulator with no observations.
+    pub fn new() -> Self {
+        OnlineMoments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation. Non-finite values are ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; `0.0` before the first observation.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Running population variance; `0.0` before the second observation.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Running population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation so far; `0.0` before the first observation.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation so far; `0.0` before the first observation.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn population_vs_sample_std() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        // population: ss = 5.0, /4 => 1.25
+        assert!((variance(&data) - 1.25).abs() < 1e-12);
+        // sample: /3
+        assert!((sample_std(&data) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_std_of_singleton_is_zero() {
+        assert_eq!(sample_std(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut acc = OnlineMoments::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        assert!((acc.mean() - mean(&data)).abs() < 1e-12);
+        assert!((acc.variance() - variance(&data)).abs() < 1e-12);
+        assert_eq!(acc.min(), 1.0);
+        assert_eq!(acc.max(), 9.0);
+        assert_eq!(acc.count(), 8);
+    }
+
+    #[test]
+    fn online_ignores_nan() {
+        let mut acc = OnlineMoments::new();
+        acc.push(1.0);
+        acc.push(f64::NAN);
+        acc.push(3.0);
+        assert_eq!(acc.count(), 2);
+        assert_eq!(acc.mean(), 2.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a_data = [1.0, 2.0, 3.0];
+        let b_data = [10.0, 20.0, 30.0, 40.0];
+        let mut a = OnlineMoments::new();
+        let mut b = OnlineMoments::new();
+        for &x in &a_data {
+            a.push(x);
+        }
+        for &x in &b_data {
+            b.push(x);
+        }
+        a.merge(&b);
+        let mut all = OnlineMoments::new();
+        for &x in a_data.iter().chain(&b_data) {
+            all.push(x);
+        }
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineMoments::new();
+        a.push(5.0);
+        a.push(7.0);
+        let before_mean = a.mean();
+        a.merge(&OnlineMoments::new());
+        assert_eq!(a.mean(), before_mean);
+        assert_eq!(a.count(), 2);
+
+        let mut empty = OnlineMoments::new();
+        let mut b = OnlineMoments::new();
+        b.push(5.0);
+        b.push(7.0);
+        empty.merge(&b);
+        assert_eq!(empty.mean(), 6.0);
+        assert_eq!(empty.count(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_online_matches_batch(data in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+            let mut acc = OnlineMoments::new();
+            for &x in &data {
+                acc.push(x);
+            }
+            prop_assert!((acc.mean() - mean(&data)).abs() < 1e-6);
+            if data.len() >= 2 {
+                prop_assert!((acc.variance() - variance(&data)).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn prop_variance_nonnegative(data in proptest::collection::vec(-1e9f64..1e9, 0..100)) {
+            prop_assert!(variance(&data) >= 0.0);
+        }
+
+        #[test]
+        fn prop_merge_associative_count(
+            a in proptest::collection::vec(-1e3f64..1e3, 0..50),
+            b in proptest::collection::vec(-1e3f64..1e3, 0..50),
+        ) {
+            let mut am = OnlineMoments::new();
+            for &x in &a { am.push(x); }
+            let mut bm = OnlineMoments::new();
+            for &x in &b { bm.push(x); }
+            am.merge(&bm);
+            prop_assert_eq!(am.count() as usize, a.len() + b.len());
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Dataset joining and persistence.
+//!
+//! §5.2: after reassembly, "the two datasets can be easily joined by
+//! matching the respective timestamps and the chunk count per session" —
+//! the instrumented handset's ground truth on one side, the proxy's
+//! encrypted weblogs on the other. [`join_sessions`] implements that
+//! matching; the JSONL helpers persist any serializable dataset line by
+//! line so experiment stages can be run and inspected independently.
+
+use crate::reassembly::ReassembledSession;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+use vqoe_player::SessionTrace;
+
+/// A reassembled encrypted session matched to its ground-truth trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinedSession {
+    /// Index into the reassembled-session list.
+    pub reassembled_idx: usize,
+    /// Index into the ground-truth trace list.
+    pub trace_idx: usize,
+    /// Match quality in [0, 1]: temporal-overlap fraction weighted by
+    /// chunk-count agreement.
+    pub score: f64,
+}
+
+/// Match reassembled sessions to ground-truth traces by time overlap and
+/// chunk count (greedy best-first, one-to-one).
+pub fn join_sessions(
+    reassembled: &[ReassembledSession],
+    truths: &[SessionTrace],
+) -> Vec<JoinedSession> {
+    let mut candidates: Vec<JoinedSession> = Vec::new();
+    for (ri, r) in reassembled.iter().enumerate() {
+        for (ti, t) in truths.iter().enumerate() {
+            let score = match_score(r, t);
+            if score > 0.0 {
+                candidates.push(JoinedSession {
+                    reassembled_idx: ri,
+                    trace_idx: ti,
+                    score,
+                });
+            }
+        }
+    }
+    candidates.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    let mut used_r = vec![false; reassembled.len()];
+    let mut used_t = vec![false; truths.len()];
+    let mut out = Vec::new();
+    for c in candidates {
+        if !used_r[c.reassembled_idx] && !used_t[c.trace_idx] {
+            used_r[c.reassembled_idx] = true;
+            used_t[c.trace_idx] = true;
+            out.push(c);
+        }
+    }
+    out.sort_by_key(|j| j.reassembled_idx);
+    out
+}
+
+fn match_score(r: &ReassembledSession, t: &SessionTrace) -> f64 {
+    let (t_start, t_end) = match (t.chunks.first(), t.chunks.last()) {
+        (Some(first), Some(last)) => (first.request_time, last.arrival_time),
+        _ => return 0.0,
+    };
+    let overlap_start = r.start.max(t_start);
+    let overlap_end = r.end.min(t_end);
+    if overlap_end <= overlap_start {
+        return 0.0;
+    }
+    let overlap = overlap_end.duration_since(overlap_start).as_secs_f64();
+    let union = r.end.max(t_end).duration_since(r.start.min(t_start)).as_secs_f64();
+    let temporal = if union > 0.0 { overlap / union } else { 0.0 };
+    let cr = r.chunk_count() as f64;
+    let ct = t.chunks.len() as f64;
+    let count_agreement = 1.0 - (cr - ct).abs() / cr.max(ct).max(1.0);
+    temporal * count_agreement.max(0.0)
+}
+
+/// Write `items` to `path` as JSON Lines.
+pub fn write_jsonl<T: Serialize>(path: &Path, items: &[T]) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for item in items {
+        serde_json::to_writer(&mut w, item)?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Read a JSON Lines file written by [`write_jsonl`]. Blank lines are
+/// skipped; a malformed line is an error (corrupt dataset files should
+/// fail loudly, not silently shrink).
+pub fn read_jsonl<T: DeserializeOwned>(path: &Path) -> std::io::Result<Vec<T>> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let item: T = serde_json::from_str(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        out.push(item);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{capture_session, CaptureConfig};
+    use crate::reassembly::{reassemble_subscriber, ReassemblyConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vqoe_player::{simulate_session, AbrKind, Delivery, SessionConfig};
+    use vqoe_simnet::channel::Scenario;
+    use vqoe_simnet::rng::SeedSequence;
+    use vqoe_simnet::time::{Duration, Instant};
+
+    fn build_world(n: usize) -> (Vec<SessionTrace>, Vec<ReassembledSession>) {
+        let seeds = SeedSequence::new(2718);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut traces = Vec::new();
+        let mut entries = Vec::new();
+        let mut t0 = Instant::from_secs(50);
+        for i in 0..n {
+            let trace = simulate_session(
+                &SessionConfig {
+                    session_index: i as u64,
+                    scenario: Scenario::StaticHome,
+                    delivery: Delivery::Dash(AbrKind::Hybrid),
+                    start_time: t0,
+                    profile: Default::default(),
+                },
+                &seeds,
+            );
+            entries.extend(capture_session(
+                &trace,
+                &CaptureConfig {
+                    encrypted: true,
+                    subscriber_id: 1,
+                },
+                &mut rng,
+            ));
+            t0 = trace.ground_truth.session_end + Duration::from_secs(90);
+            traces.push(trace);
+        }
+        entries.sort_by_key(|e| e.timestamp);
+        let sessions = reassemble_subscriber(&entries, &ReassemblyConfig::default());
+        (traces, sessions)
+    }
+
+    #[test]
+    fn join_matches_every_session_to_its_own_trace() {
+        let (traces, sessions) = build_world(5);
+        assert_eq!(sessions.len(), 5);
+        let joined = join_sessions(&sessions, &traces);
+        assert_eq!(joined.len(), 5);
+        for j in &joined {
+            // Sessions were generated and reassembled in the same order.
+            assert_eq!(j.reassembled_idx, j.trace_idx);
+            assert!(j.score > 0.5, "weak match: {}", j.score);
+        }
+    }
+
+    #[test]
+    fn join_is_one_to_one() {
+        let (traces, sessions) = build_world(4);
+        let joined = join_sessions(&sessions, &traces);
+        let mut rs: Vec<usize> = joined.iter().map(|j| j.reassembled_idx).collect();
+        let mut ts: Vec<usize> = joined.iter().map(|j| j.trace_idx).collect();
+        rs.sort_unstable();
+        rs.dedup();
+        ts.sort_unstable();
+        ts.dedup();
+        assert_eq!(rs.len(), joined.len());
+        assert_eq!(ts.len(), joined.len());
+    }
+
+    #[test]
+    fn join_with_empty_inputs() {
+        let (traces, _) = build_world(1);
+        assert!(join_sessions(&[], &traces).is_empty());
+        let (_, sessions) = build_world(1);
+        assert!(join_sessions(&sessions, &[]).is_empty());
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let (traces, _) = build_world(2);
+        let dir = std::env::temp_dir().join("vqoe_test_jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traces.jsonl");
+        write_jsonl(&path, &traces).unwrap();
+        let back: Vec<SessionTrace> = read_jsonl(&path).unwrap();
+        assert_eq!(back, traces);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_rejects_corrupt_lines() {
+        let dir = std::env::temp_dir().join("vqoe_test_jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.jsonl");
+        std::fs::write(&path, "{\"not\": \"a trace\"}\n").unwrap();
+        let res: std::io::Result<Vec<SessionTrace>> = read_jsonl(&path);
+        assert!(res.is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,50 @@
+//! # vqoe-telemetry
+//!
+//! The measurement plane of the reproduction: everything between the
+//! simulated video players and the feature pipeline.
+//!
+//! The paper's vantage point is "a web proxy that is deployed on the
+//! cellular network of a large European provider" (§3.1), which registers
+//! every HTTP transaction with transport-layer annotations. For encrypted
+//! traffic the same proxy sees only timings, sizes and TCP statistics —
+//! no URIs (§5.2). This crate models both views:
+//!
+//! * [`weblog`] — the proxy's record type ([`weblog::WeblogEntry`]) and
+//!   entry kinds (page loads, media chunks, playback stat reports).
+//! * [`uri`] — a YouTube-shaped URI codec: `videoplayback` chunk URIs
+//!   carrying `id` (session), `itag` (representation), `mime`, `clen`
+//!   (content length) and `dur`; and the periodic playback statistics
+//!   reports whose flags the paper mines for stall ground truth (§3.2).
+//! * [`capture`] — renders a simulated [`SessionTrace`] into the weblog
+//!   stream the proxy would record, in cleartext or encrypted form
+//!   (encryption strips the URI but keeps host, timing, size and TCP
+//!   annotations).
+//! * [`reassembly`] — the §5.2 procedure for encrypted traffic: filter to
+//!   service-related domains, find the page-fetch markers that bracket a
+//!   session, split on idle gaps, and group chunk transactions into
+//!   reassembled sessions.
+//! * [`groundtruth`] — the §3.2 reverse-engineering step: parse the
+//!   cleartext URIs back into per-session ground truth (session IDs,
+//!   itag sequences, stall totals from playback reports).
+//! * [`dataset`] — joins reassembled sessions back to ground truth (by
+//!   time overlap and chunk counts, as the paper joins its instrumented-
+//!   handset logs to proxy records) and persists datasets as JSONL.
+//!
+//! [`SessionTrace`]: vqoe_player::SessionTrace
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod dataset;
+pub mod groundtruth;
+pub mod reassembly;
+pub mod uri;
+pub mod weblog;
+
+pub use capture::{capture_session, CaptureConfig};
+pub use groundtruth::{extract_sessions, ExtractedChunk, ExtractedSession};
+pub use dataset::{join_sessions, read_jsonl, write_jsonl, JoinedSession};
+pub use reassembly::{reassemble_subscriber, ReassembledSession, ReassemblyConfig, StreamReassembler};
+pub use uri::{PlaybackReport, VideoPlaybackParams};
+pub use weblog::{EntryKind, WeblogEntry};

@@ -1,0 +1,95 @@
+//! The encrypted pipeline, step by step: what §5 of the paper actually
+//! does, with every intermediate artifact printed.
+//!
+//! ```text
+//! cargo run --release -p vqoe-core --example encrypted_pipeline
+//! ```
+
+use rand::SeedableRng;
+use vqoe_core::{generate_sequential_traces, DatasetSpec};
+use vqoe_features::{stall_features, SessionObs};
+use vqoe_telemetry::{
+    capture_session, join_sessions, reassemble_subscriber, CaptureConfig, ReassemblyConfig,
+};
+
+fn main() {
+    // --- Step 0: one instrumented subscriber streams 8 videos ---
+    let spec = DatasetSpec {
+        n_sessions: 8,
+        ..DatasetSpec::encrypted_default(1234)
+    };
+    let traces = generate_sequential_traces(&spec, 180.0);
+    println!("step 0: handset ran {} sequential video sessions", traces.len());
+    for (i, t) in traces.iter().enumerate() {
+        println!(
+            "  session {i}: {} chunks, {} stalls, avg {}p, {}",
+            t.chunks.len(),
+            t.ground_truth.stall_count(),
+            t.ground_truth.avg_resolution() as u32,
+            if t.ground_truth.abandoned { "abandoned" } else { "completed" },
+        );
+    }
+
+    // --- Step 1: the proxy captures the traffic, ENCRYPTED ---
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut entries = Vec::new();
+    for t in &traces {
+        entries.extend(capture_session(
+            t,
+            &CaptureConfig {
+                encrypted: true,
+                subscriber_id: 1,
+            },
+            &mut rng,
+        ));
+    }
+    // Background noise from other apps on the same subscriber.
+    let first = traces.first().expect("sessions exist").config.start_time;
+    let last = traces.last().expect("sessions exist").ground_truth.session_end;
+    entries.extend(vqoe_telemetry::capture::generate_noise(1, first, last, 60, &mut rng));
+    entries.sort_by_key(|e| e.timestamp);
+    let with_uri = entries.iter().filter(|e| e.uri.is_some()).count();
+    println!(
+        "\nstep 1: proxy logged {} transactions ({} with URIs — encryption hides them all)",
+        entries.len(),
+        with_uri
+    );
+
+    // --- Step 2: reassemble sessions from traffic shape alone (§5.2) ---
+    let sessions = reassemble_subscriber(&entries, &ReassemblyConfig::default());
+    println!(
+        "\nstep 2: reassembly recovered {} sessions from the encrypted stream:",
+        sessions.len()
+    );
+    for (i, s) in sessions.iter().enumerate() {
+        println!(
+            "  recovered {i}: {} chunks spanning {:.0}s",
+            s.chunk_count(),
+            s.span().as_secs_f64()
+        );
+    }
+
+    // --- Step 3: join to handset ground truth by time + chunk count ---
+    let joined = join_sessions(&sessions, &traces);
+    println!(
+        "\nstep 3: matched {}/{} recovered sessions to ground truth",
+        joined.len(),
+        traces.len()
+    );
+    for j in &joined {
+        println!(
+            "  recovered {} <-> session {} (match score {:.2})",
+            j.reassembled_idx, j.trace_idx, j.score
+        );
+    }
+
+    // --- Step 4: feature construction on the encrypted view ---
+    println!("\nstep 4: the 70-dim stall features of recovered session 0 (first 8):");
+    let obs = SessionObs::from_reassembled(&sessions[0]);
+    let names = vqoe_features::stall_feature_names();
+    let values = stall_features(&obs);
+    for (n, v) in names.iter().zip(values.iter()).take(8) {
+        println!("  {n:<36} {v:.4}");
+    }
+    println!("  ... ({} features total; ready for the trained models)", values.len());
+}

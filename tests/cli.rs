@@ -1,0 +1,137 @@
+//! Integration test for the `vqoe` operator CLI: the full file-based
+//! pipeline — generate → capture → extract-gt / train → assess — run as
+//! a real subprocess against a temp directory.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn vqoe() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vqoe"))
+}
+
+fn run(dir: &Path, args: &[&str]) -> String {
+    let out = vqoe()
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn vqoe");
+    assert!(
+        out.status.success(),
+        "vqoe {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stderr).to_string()
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vqoe_cli_it_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create workdir");
+    dir
+}
+
+fn line_count(path: &Path) -> usize {
+    std::fs::read_to_string(path)
+        .expect("read file")
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count()
+}
+
+#[test]
+fn full_pipeline_runs_and_produces_consistent_files() {
+    let dir = workdir("full");
+
+    // generate an encrypted handset corpus + capture it for one subscriber
+    run(
+        &dir,
+        &[
+            "generate", "--kind", "encrypted", "--sessions", "5", "--seed", "11", "--out",
+            "traces.jsonl",
+        ],
+    );
+    assert_eq!(line_count(&dir.join("traces.jsonl")), 5);
+    run(
+        &dir,
+        &[
+            "capture", "--traces", "traces.jsonl", "--encrypted", "--subscriber", "1", "--out",
+            "weblogs.jsonl",
+        ],
+    );
+    assert!(line_count(&dir.join("weblogs.jsonl")) > 50);
+
+    // train a tiny model and assess the encrypted stream
+    run(
+        &dir,
+        &[
+            "train", "--cleartext", "300", "--adaptive", "150", "--seed", "3", "--out",
+            "model.json",
+        ],
+    );
+    assert!(dir.join("model.json").metadata().unwrap().len() > 10_000);
+    let log = run(
+        &dir,
+        &[
+            "assess", "--model", "model.json", "--weblogs", "weblogs.jsonl", "--out",
+            "assessments.jsonl",
+        ],
+    );
+    assert!(log.contains("assessed"), "log: {log}");
+    let n = line_count(&dir.join("assessments.jsonl"));
+    assert!(n >= 4 && n <= 6, "expected ~5 assessments, got {n}");
+
+    // every assessment line parses and carries a MOS on the 1–5 scale
+    let content = std::fs::read_to_string(dir.join("assessments.jsonl")).unwrap();
+    for line in content.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
+        let mos = v["qoe"]["mos"].as_f64().expect("mos field");
+        assert!((1.0..=5.0).contains(&mos));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cleartext_ground_truth_extraction_via_cli() {
+    let dir = workdir("gt");
+    run(
+        &dir,
+        &[
+            "generate", "--kind", "cleartext", "--sessions", "15", "--seed", "12", "--out",
+            "traces.jsonl",
+        ],
+    );
+    run(
+        &dir,
+        &["capture", "--traces", "traces.jsonl", "--out", "weblogs.jsonl"],
+    );
+    run(
+        &dir,
+        &["extract-gt", "--weblogs", "weblogs.jsonl", "--out", "gt.jsonl"],
+    );
+    assert_eq!(line_count(&dir.join("gt.jsonl")), 15);
+    // Each extracted session carries a 16-char session id.
+    let content = std::fs::read_to_string(dir.join("gt.jsonl")).unwrap();
+    for line in content.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(v["session_id"].as_str().unwrap().len(), 16);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_commands_and_missing_flags_fail_cleanly() {
+    let out = vqoe().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = vqoe().args(["generate"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --out"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = vqoe().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("commands:"));
+}

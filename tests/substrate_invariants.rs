@@ -1,0 +1,180 @@
+//! Property-based invariants of the simulation substrate, checked at
+//! the integration level: whatever the scenario, delivery mechanism,
+//! profile or seed, the simulated world must be physically coherent.
+//! The detectors' correctness arguments all lean on these.
+
+use proptest::prelude::*;
+use vqoe_player::{simulate_session, AbrKind, ContentType, Delivery, SessionConfig, StreamingProfile};
+use vqoe_simnet::channel::Scenario;
+use vqoe_simnet::rng::SeedSequence;
+use vqoe_simnet::time::Instant;
+
+fn scenario_from(idx: u8) -> Scenario {
+    match idx % 4 {
+        0 => Scenario::StaticHome,
+        1 => Scenario::StaticOffice,
+        2 => Scenario::Commuting,
+        _ => Scenario::CongestedCell,
+    }
+}
+
+fn delivery_from(idx: u8) -> Delivery {
+    match idx % 4 {
+        0 => Delivery::Progressive,
+        1 => Delivery::Dash(AbrKind::Throughput),
+        2 => Delivery::Dash(AbrKind::BufferBased),
+        _ => Delivery::Dash(AbrKind::Hybrid),
+    }
+}
+
+fn profile_from(idx: u8) -> StreamingProfile {
+    match idx % 3 {
+        0 => StreamingProfile::youtube(),
+        1 => StreamingProfile::vimeo_like(),
+        _ => StreamingProfile::dailymotion_like(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Sessions are physically coherent regardless of configuration.
+    #[test]
+    fn prop_sessions_are_coherent(
+        seed in 0u64..5_000,
+        session_index in 0u64..2_000,
+        scenario_idx in 0u8..4,
+        delivery_idx in 0u8..4,
+        profile_idx in 0u8..3,
+    ) {
+        let seeds = SeedSequence::new(seed);
+        let config = SessionConfig {
+            session_index,
+            scenario: scenario_from(scenario_idx),
+            delivery: delivery_from(delivery_idx),
+            start_time: Instant::from_secs(100),
+            profile: profile_from(profile_idx),
+        };
+        let trace = simulate_session(&config, &seeds);
+        let gt = &trace.ground_truth;
+
+        // --- chunk stream invariants ---
+        prop_assert!(!trace.chunks.is_empty(), "a session always downloads something");
+        for w in trace.chunks.windows(2) {
+            prop_assert!(w[1].request_time >= w[0].request_time, "requests ordered");
+            prop_assert!(w[1].request_time >= w[0].arrival_time, "no pipelining modelled");
+        }
+        for c in &trace.chunks {
+            prop_assert!(c.arrival_time > c.request_time, "downloads take time");
+            prop_assert!(c.bytes > 0);
+            prop_assert!(c.media_secs > 0.0);
+            prop_assert!(c.transport.rtt_min <= c.transport.rtt_mean + 1e-12);
+            prop_assert!(c.transport.rtt_mean <= c.transport.rtt_max + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&c.transport.loss_frac));
+            prop_assert!((0.0..=1.0).contains(&c.transport.retx_frac));
+            prop_assert!(c.transport.bif_mean <= c.transport.bif_max + 1e-9);
+            match c.content_type {
+                ContentType::Video => prop_assert!(c.itag.is_some()),
+                ContentType::Audio => prop_assert!(c.itag.is_none()),
+            }
+        }
+
+        // --- playback invariants ---
+        let media_total = trace.video.duration.as_secs_f64();
+        prop_assert!(gt.media_played.as_secs_f64() <= media_total + 1e-6);
+        if !gt.abandoned {
+            // Completed sessions played (almost) the whole video.
+            prop_assert!(
+                gt.media_played.as_secs_f64() > media_total - 1.0,
+                "completed session played {} of {}",
+                gt.media_played.as_secs_f64(),
+                media_total
+            );
+        }
+        prop_assert!(gt.session_end >= config.start_time);
+
+        // --- stall invariants ---
+        let mut prev_end = config.start_time;
+        for s in &gt.stalls {
+            prop_assert!(s.start >= prev_end, "stalls ordered and disjoint");
+            prop_assert!(s.duration.as_secs_f64() >= 0.5, "sub-perceptual stalls filtered");
+            prev_end = s.start + s.duration;
+        }
+        prop_assert!(prev_end <= gt.session_end + vqoe_simnet::time::Duration::from_secs(1));
+        let rr = gt.rebuffering_ratio();
+        prop_assert!((0.0..=1.0).contains(&rr), "RR = {rr}");
+
+        // --- representation invariants ---
+        let video_chunks = trace
+            .chunks
+            .iter()
+            .filter(|c| c.content_type == ContentType::Video)
+            .count();
+        prop_assert_eq!(video_chunks, gt.segment_resolutions.len());
+        for &r in &gt.segment_resolutions {
+            prop_assert!([144, 240, 360, 480, 720, 1080].contains(&r));
+        }
+        prop_assert!(gt.switch_amplitude() >= 0.0);
+        prop_assert!(gt.switch_count() < gt.segment_resolutions.len().max(1));
+    }
+
+    /// The feature pipeline never produces non-finite values, whatever
+    /// the session looks like.
+    #[test]
+    fn prop_features_always_finite(
+        seed in 0u64..3_000,
+        session_index in 0u64..1_000,
+        scenario_idx in 0u8..4,
+        delivery_idx in 0u8..4,
+    ) {
+        let seeds = SeedSequence::new(seed);
+        let trace = simulate_session(
+            &SessionConfig {
+                session_index,
+                scenario: scenario_from(scenario_idx),
+                delivery: delivery_from(delivery_idx),
+                start_time: Instant::ZERO,
+                profile: StreamingProfile::default(),
+            },
+            &seeds,
+        );
+        let obs = vqoe_features::SessionObs::from_trace(&trace);
+        for v in vqoe_features::stall_features(&obs) {
+            prop_assert!(v.is_finite());
+        }
+        for v in vqoe_features::representation_features(&obs) {
+            prop_assert!(v.is_finite());
+        }
+        let score = vqoe_changedet::detector::session_score(
+            &obs.chunk_points(),
+            &vqoe_changedet::SwitchScoreConfig::default(),
+        );
+        prop_assert!(score.is_finite() && score >= 0.0);
+    }
+
+    /// Progressive sessions never switch representation; their RQ label
+    /// is fully determined by the single chosen itag.
+    #[test]
+    fn prop_progressive_is_switch_free(
+        seed in 0u64..2_000,
+        session_index in 0u64..500,
+        scenario_idx in 0u8..4,
+    ) {
+        let seeds = SeedSequence::new(seed);
+        let trace = simulate_session(
+            &SessionConfig {
+                session_index,
+                scenario: scenario_from(scenario_idx),
+                delivery: Delivery::Progressive,
+                start_time: Instant::ZERO,
+                profile: StreamingProfile::default(),
+            },
+            &seeds,
+        );
+        prop_assert_eq!(trace.ground_truth.switch_count(), 0);
+        prop_assert_eq!(trace.ground_truth.switch_amplitude(), 0.0);
+        let mut itags: Vec<_> = trace.chunks.iter().filter_map(|c| c.itag).collect();
+        itags.dedup();
+        prop_assert_eq!(itags.len(), 1, "one quality for the whole session");
+    }
+}
