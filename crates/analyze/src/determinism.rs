@@ -1,0 +1,273 @@
+//! Pass 1 — determinism lint.
+//!
+//! The paper's pipeline is evaluated end-to-end on *simulated* sessions,
+//! so every number in the reproduction must be a pure function of the
+//! configured seeds. Three things silently break that:
+//!
+//! * `rand::thread_rng` — an OS-seeded generator (rule `thread-rng`);
+//! * wall-clock reads — `SystemTime::now` / `Instant::now` (rule
+//!   `wall-clock`); simulated time lives in `vqoe_simnet::time`;
+//! * iterating a `HashMap` — iteration order varies per process because
+//!   of `RandomState` hashing (rule `hashmap-iter`); keyed access is
+//!   fine, ordered walks need a `BTreeMap` or a sorted key vector. This
+//!   rule skips `#[cfg(test)]` code: the map-name tracking is file-global
+//!   and tests legitimately shadow library binding names.
+//!
+//! `crates/bench` is deliberately *not* in [`crate::DETERMINISM_CRATES`]:
+//! measuring wall-clock time is its whole job.
+
+use std::fs;
+use std::path::Path;
+
+use crate::lexer::{lex_file, Line};
+use crate::walk::{rel, rust_sources};
+use crate::{Finding, DETERMINISM_CRATES};
+
+/// Methods that iterate a map in storage order.
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+];
+
+/// Run the determinism pass over the workspace at `root`.
+pub fn check(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for name in DETERMINISM_CRATES {
+        let src = root.join("crates").join(name).join("src");
+        for file in rust_sources(&src) {
+            let Ok(text) = fs::read_to_string(&file) else {
+                continue;
+            };
+            check_file(&rel(root, &file), &text, &mut findings);
+        }
+    }
+    findings
+}
+
+fn check_file(file: &str, text: &str, findings: &mut Vec<Finding>) {
+    let lines = lex_file(text);
+    let maps = hashmap_names(&lines);
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let mut push = |rule: &str, message: String| {
+            if !line.allows.iter().any(|a| a == rule) {
+                findings.push(Finding::new(file, lineno, rule, message));
+            }
+        };
+        if contains_token(&line.code, "thread_rng") {
+            push(
+                "thread-rng",
+                "OS-seeded `thread_rng` breaks reproducibility; take an explicit \
+                 seeded Rng instead"
+                    .to_string(),
+            );
+        }
+        for clock in ["SystemTime::now", "Instant::now"] {
+            if contains_token(&line.code, clock) {
+                push(
+                    "wall-clock",
+                    format!(
+                        "wall-clock read `{clock}` in deterministic code; use \
+                         `vqoe_simnet::time` (bench code is exempt by crate)"
+                    ),
+                );
+            }
+        }
+        // The map-name heuristic is file-global, so a test that reuses a
+        // library binding's name for a Vec would false-positive; test
+        // code is exempt (an order-dependent test fails loudly anyway).
+        for map in maps.iter().filter(|_| !line.in_test) {
+            if let Some(how) = iterates(&line.code, map) {
+                push(
+                    "hashmap-iter",
+                    format!(
+                        "`{map}` is a HashMap and `{how}` walks it in random \
+                         RandomState order; use a BTreeMap or sort the keys first"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Identifiers declared as `HashMap` in this file: `let`/`let mut`
+/// bindings whose line mentions `HashMap`, and struct fields typed
+/// `HashMap<...>`.
+fn hashmap_names(lines: &[Line]) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in lines {
+        let code = &line.code;
+        if !code.contains("HashMap") {
+            continue;
+        }
+        if let Some(pos) = code.find("let ") {
+            let rest = code[pos + 4..].trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            if let Some(name) = leading_ident(rest) {
+                names.push(name);
+                continue;
+            }
+        }
+        // `field_name: HashMap<...>` — struct field or function parameter.
+        if let Some(pos) = code.find(": HashMap<") {
+            if let Some(name) = trailing_ident(&code[..pos]) {
+                names.push(name);
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Does this line iterate `map`? Returns a short description of how.
+fn iterates(code: &str, map: &str) -> Option<String> {
+    for method in ITER_METHODS {
+        let pat = format!("{map}{method}");
+        if contains_token(code, &pat) {
+            return Some(format!("{map}{method}"));
+        }
+    }
+    // `for x in map`, `for x in &map`, `for x in &mut map`.
+    if let Some(pos) = code.find(" in ") {
+        let rest = code[pos + 4..].trim_start();
+        let rest = rest.strip_prefix("&mut ").unwrap_or(rest);
+        let rest = rest.strip_prefix('&').unwrap_or(rest);
+        let rest = rest.strip_prefix("self.").unwrap_or(rest);
+        if leading_ident(rest).as_deref() == Some(map)
+            && !rest[map.len()..].starts_with('.')
+            && code.trim_start().starts_with("for ")
+        {
+            return Some(format!("for _ in {map}"));
+        }
+    }
+    None
+}
+
+/// Substring match with identifier boundaries on both sides, so
+/// `thread_rng` does not fire on `my_thread_rng_like`.
+fn contains_token(code: &str, pat: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(pat) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(code.as_bytes()[at - 1]);
+        let end = at + pat.len();
+        let after_ok = end >= code.len() || !is_ident_char(code.as_bytes()[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + pat.len();
+    }
+    false
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn leading_ident(s: &str) -> Option<String> {
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !c.is_alphanumeric() && *c != '_')
+        .map_or(s.len(), |(i, _)| i);
+    if end == 0 {
+        None
+    } else {
+        Some(s[..end].to_string())
+    }
+}
+
+fn trailing_ident(s: &str) -> Option<String> {
+    let trimmed = s.trim_end();
+    let start = trimmed
+        .char_indices()
+        .rev()
+        .find(|(_, c)| !c.is_alphanumeric() && *c != '_')
+        .map_or(0, |(i, c)| i + c.len_utf8());
+    if start == trimmed.len() {
+        None
+    } else {
+        Some(trimmed[start..].to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_in(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check_file("x.rs", src, &mut out);
+        out
+    }
+
+    #[test]
+    fn thread_rng_is_flagged_with_boundaries() {
+        let f = findings_in("let mut rng = rand::thread_rng();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "thread-rng");
+        assert!(findings_in("fn not_a_thread_rng_thing() {}\n").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_reads_are_flagged() {
+        let f = findings_in("let t = std::time::Instant::now();\n");
+        assert_eq!(f[0].rule, "wall-clock");
+        let f = findings_in("let t = SystemTime::now();\n");
+        assert_eq!(f[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn hashmap_iteration_is_flagged_but_keyed_access_is_not() {
+        let src = "let mut m: HashMap<u64, u32> = HashMap::new();\n\
+                   for (k, v) in &m {\n}\n\
+                   let one = m.get(&3);\n\
+                   let all: Vec<_> = m.values().collect();\n";
+        let f = findings_in(src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "hashmap-iter"));
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 5);
+    }
+
+    #[test]
+    fn struct_field_hashmaps_are_tracked() {
+        let src = "struct S {\n    per_id: HashMap<u64, u32>,\n}\n\
+                   fn f(s: S) { for v in s.per_id.values() {} }\n";
+        let f = findings_in(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("per_id.values()"));
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let src = "// analyze:allow(wall-clock)\nlet t = Instant::now();\n";
+        assert!(findings_in(src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        let src = "// uses Instant::now() internally\nlet s = \"thread_rng\";\n";
+        assert!(findings_in(src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_rule_skips_test_code_with_shadowed_names() {
+        let src = "fn lib() { let m: HashMap<u32, u32> = HashMap::new(); m.get(&1); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { let m = vec![1]; for x in m.iter() {} }\n}\n";
+        assert!(findings_in(src).is_empty());
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine() {
+        let src = "let m: BTreeMap<u64, u32> = BTreeMap::new();\nfor v in m.values() {}\n";
+        assert!(findings_in(src).is_empty());
+    }
+}

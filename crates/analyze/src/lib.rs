@@ -1,0 +1,105 @@
+//! # vqoe-analyze
+//!
+//! Zero-dependency static-analysis gates for the vqoe workspace,
+//! reproducing the engineering discipline behind *Measuring Video QoE
+//! from Encrypted Traffic* (IMC 2016): the whole evaluation is a pure
+//! function of seeds, so the code must never read ambient entropy, and
+//! the pipeline targets operator deployment, so library code must never
+//! panic on hostile input.
+//!
+//! Four passes, each a module:
+//!
+//! 1. [`determinism`] — no `thread_rng`, no wall-clock reads, no
+//!    `HashMap` iteration in the deterministic crates;
+//! 2. [`panics`] — no `unwrap`/`expect`/`panic!` in non-test library
+//!    code;
+//! 3. [`constants`] — the paper's headline numbers (70 / 210 features,
+//!    RR 0.1, CUSUM 500, class names) agree everywhere they are stated;
+//! 4. [`hygiene`] — every member crate opts into the workspace lint
+//!    policy, inherits workspace dependencies, and documents itself.
+//!
+//! Violations carry `file:line`, a rule id, and a message; the binary
+//! exits nonzero when any are found. A `// analyze:allow(<rule>)`
+//! comment on (or directly above) a line is the escape hatch for the
+//! line-level rules.
+//!
+//! The crate deliberately depends on nothing but `std` — it is the gate
+//! for the rest of the workspace and must keep building when everything
+//! else is broken.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constants;
+pub mod determinism;
+pub mod hygiene;
+pub mod lexer;
+pub mod panics;
+pub mod report;
+pub mod walk;
+
+use std::path::Path;
+
+/// Crates whose library code must be a pure function of seeds.
+/// `crates/bench` is exempt: timing wall-clock is its purpose.
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "changedet",
+    "core",
+    "features",
+    "ml",
+    "player",
+    "simnet",
+    "stats",
+    "telemetry",
+];
+
+/// Crates whose non-test code must be panic-free: the deterministic
+/// eight plus this analyzer itself (it gates, so it is gated).
+pub const PANIC_CRATES: &[&str] = &[
+    "analyze",
+    "changedet",
+    "core",
+    "features",
+    "ml",
+    "player",
+    "simnet",
+    "stats",
+    "telemetry",
+];
+
+/// One diagnostic: where, which rule, and what to do about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule id (the token accepted by `analyze:allow(...)`).
+    pub rule: String,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    /// Construct a finding.
+    pub fn new(file: &str, line: usize, rule: &str, message: impl Into<String>) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Run all four passes over the workspace at `root` and return the
+/// findings sorted by `(file, line, rule)`.
+pub fn run_all(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(determinism::check(root));
+    findings.extend(panics::check(root));
+    findings.extend(constants::check(root));
+    findings.extend(hygiene::check(root));
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    findings
+}

@@ -1,0 +1,102 @@
+//! Diagnostic rendering: human-readable text and machine-readable JSON.
+//!
+//! The JSON writer is hand-rolled (a few dozen lines) because the
+//! analyzer must not depend on anything — not even the workspace's own
+//! vendored `serde_json` — so it keeps building when everything else is
+//! broken.
+
+use crate::Finding;
+
+/// `file:line: [rule] message`, one finding per line, plus a summary.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+    if findings.is_empty() {
+        out.push_str("vqoe-analyze: all checks passed\n");
+    } else {
+        out.push_str(&format!("vqoe-analyze: {} violation(s)\n", findings.len()));
+    }
+    out
+}
+
+/// `{"count": N, "findings": [{"file", "line", "rule", "message"}, ...]}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"count\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(&f.file),
+            f.line,
+            json_string(&f.rule),
+            json_string(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding::new(
+            "crates/x/src/lib.rs",
+            7,
+            "unwrap",
+            "a \"quoted\" message",
+        )]
+    }
+
+    #[test]
+    fn text_format_is_file_line_rule_message() {
+        let text = render_text(&sample());
+        assert!(text.contains("crates/x/src/lib.rs:7: [unwrap] a \"quoted\" message"));
+        assert!(text.contains("1 violation(s)"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let json = render_json(&sample());
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("a \\\"quoted\\\" message"));
+        assert!(json.contains("\"line\": 7"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        assert!(render_text(&[]).contains("all checks passed"));
+        assert!(render_json(&[]).contains("\"findings\": []"));
+    }
+}

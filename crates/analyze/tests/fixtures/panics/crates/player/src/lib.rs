@@ -1,0 +1,19 @@
+//! Fixture: one seeded violation per panic-path rule.
+
+pub fn shortcuts(v: &mut [f64], o: Option<u32>) -> u32 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let first = o.expect("present");
+    if first == 0 {
+        panic!("zero");
+    }
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

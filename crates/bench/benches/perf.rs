@@ -113,14 +113,17 @@ fn bench_telemetry(c: &mut Criterion) {
     let mut rng = rand::SeedableRng::seed_from_u64(5);
     let mut entries = Vec::new();
     for t in &traces {
-        entries.extend(vqoe_telemetry::capture_session(
-            t,
-            &vqoe_telemetry::CaptureConfig {
-                encrypted: true,
-                subscriber_id: 1,
-            },
-            &mut rng,
-        ));
+        entries.extend(
+            vqoe_telemetry::capture_session(
+                t,
+                &vqoe_telemetry::CaptureConfig {
+                    encrypted: true,
+                    subscriber_id: 1,
+                },
+                &mut rng,
+            )
+            .expect("simulated traces always capture"),
+        );
     }
     entries.sort_by_key(|e| e.timestamp);
     let mut group = c.benchmark_group("telemetry");

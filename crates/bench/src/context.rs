@@ -80,9 +80,8 @@ impl ReproContext {
             train_representation_detector(&adaptive, ForestConfig::default(), scale.seed);
         let switch = calibrate_switch_detector(&adaptive, SwitchScoreConfig::default());
 
-        let world = EncryptedWorld::build(&EncryptedEvalConfig::paper_default(
-            scale.seed ^ 0x5EC5,
-        ));
+        let world = EncryptedWorld::build(&EncryptedEvalConfig::paper_default(scale.seed ^ 0x5EC5))
+            .expect("simulated world builds");
 
         ReproContext {
             scale,

@@ -18,9 +18,29 @@ use vqoe_stats::Ecdf;
 
 /// All experiment identifiers, in paper order.
 pub const EXPERIMENTS: [&str; 23] = [
-    "tab1", "fig1", "fig2", "fig3", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "fig4",
-    "fig5", "tab8", "tab9", "tab10", "tab11", "sec56", "ablation-features", "ablation-cusum",
-    "ablation-reassembly", "baseline-binary", "generalization", "obfuscation",
+    "tab1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "tab2",
+    "tab3",
+    "tab4",
+    "tab5",
+    "tab6",
+    "tab7",
+    "fig4",
+    "fig5",
+    "tab8",
+    "tab9",
+    "tab10",
+    "tab11",
+    "sec56",
+    "ablation-features",
+    "ablation-cusum",
+    "ablation-reassembly",
+    "baseline-binary",
+    "generalization",
+    "obfuscation",
 ];
 
 /// Run one experiment by id. Unknown ids return an error string listing
@@ -65,7 +85,10 @@ fn header(id: &str, title: &str) -> String {
 
 fn tab1() -> String {
     let mut out = header("tab1", "metrics extracted from the operator's weblogs");
-    let mut t = Table::new(vec!["Network features (clear + encrypted)", "Ground truth (URIs, cleartext only)"]);
+    let mut t = Table::new(vec![
+        "Network features (clear + encrypted)",
+        "Ground truth (URIs, cleartext only)",
+    ]);
     let rows = [
         ("minimum RTT", "chunk resolution (itag)"),
         ("average RTT", "stall count (playback reports)"),
@@ -110,7 +133,11 @@ fn fig1(ctx: &ReproContext) -> String {
     let t0 = session.config.start_time;
     let stalls = &session.ground_truth.stalls;
     let mut t = Table::new(vec!["t (s)", "chunk size (KB)", "", "note"]);
-    for c in session.chunks.iter().filter(|c| c.content_type == ContentType::Video) {
+    for c in session
+        .chunks
+        .iter()
+        .filter(|c| c.content_type == ContentType::Video)
+    {
         let rel = c.arrival_time.duration_since(t0).as_secs_f64();
         let kb = c.bytes as f64 / 1024.0;
         let bar = "#".repeat(((kb / 40.0).round() as usize).min(60));
@@ -119,7 +146,11 @@ fn fig1(ctx: &ReproContext) -> String {
             let s1 = s0 + s.duration.as_secs_f64();
             rel >= s0 && rel <= s1 + 10.0
         });
-        let note = if in_recovery { "<- stall / recovery" } else { "" };
+        let note = if in_recovery {
+            "<- stall / recovery"
+        } else {
+            ""
+        };
         t.row(vec![
             format!("{rel:.1}"),
             format!("{kb:.0}"),
@@ -273,31 +304,25 @@ fn tab2(ctx: &ReproContext) -> String {
     out.push_str(&compare_line(
         "top features are chunk-size statistics",
         "chunk size min 0.45, std 0.25",
-        &format!(
-            "{}",
-            ctx.stall
-                .selected
-                .iter()
-                .take(2)
-                .map(|r| format!("{} {:.2}", r.name, r.gain))
-                .collect::<Vec<_>>()
-                .join(", ")
-        ),
+        &ctx.stall
+            .selected
+            .iter()
+            .take(2)
+            .map(|r| format!("{} {:.2}", r.name, r.gain))
+            .collect::<Vec<_>>()
+            .join(", "),
     ));
     out.push_str(&compare_line(
         "BDP and retransmissions follow",
         "BDP mean 0.18, retx max 0.12",
-        &format!(
-            "{}",
-            ctx.stall
-                .selected
-                .iter()
-                .filter(|r| r.name.contains("BDP") || r.name.contains("retransmissions"))
-                .take(2)
-                .map(|r| format!("{} {:.2}", r.name, r.gain))
-                .collect::<Vec<_>>()
-                .join(", ")
-        ),
+        &ctx.stall
+            .selected
+            .iter()
+            .filter(|r| r.name.contains("BDP") || r.name.contains("retransmissions"))
+            .take(2)
+            .map(|r| format!("{} {:.2}", r.name, r.gain))
+            .collect::<Vec<_>>()
+            .join(", "),
     ));
     out
 }
@@ -597,7 +622,8 @@ fn sec56(ctx: &ReproContext) -> String {
         "sec56",
         "representation-switch detection on encrypted traffic (frozen threshold)",
     );
-    let eval = evaluate_switch_detector(&ctx.switch.detector, &ctx.world.labelled_switch_sessions());
+    let eval =
+        evaluate_switch_detector(&ctx.switch.detector, &ctx.world.labelled_switch_sessions());
     out.push_str(&format!(
         "frozen threshold {:.1} applied to {} encrypted sessions\n\n",
         ctx.switch.detector.threshold,
@@ -646,7 +672,12 @@ fn ablation_features(ctx: &ReproContext) -> String {
         vqoe_core::stall_pipeline::train_stall_detector_on(&full, ForestConfig::default(), 7);
     let report_without =
         vqoe_core::stall_pipeline::train_stall_detector_on(&without, ForestConfig::default(), 7);
-    let mut t = Table::new(vec!["feature set", "CV accuracy", "no-stall recall", "severe recall"]);
+    let mut t = Table::new(vec![
+        "feature set",
+        "CV accuracy",
+        "no-stall recall",
+        "severe recall",
+    ]);
     for (name, m) in [
         ("all 70 features", &report_full.cv_matrix),
         ("without chunk size", &report_without.cv_matrix),
@@ -698,7 +729,10 @@ fn ablation_cusum(ctx: &ReproContext) -> String {
         "σ(CUSUM(Δsize×Δt)) [paper]".to_string(),
         format!("{:.3}", ctx.switch.acc_without),
         format!("{:.3}", ctx.switch.acc_with),
-        format!("{:.3}", (ctx.switch.acc_without + ctx.switch.acc_with) / 2.0),
+        format!(
+            "{:.3}",
+            (ctx.switch.acc_without + ctx.switch.acc_with) / 2.0
+        ),
     ]);
     t.row(vec![
         "σ(Δsize×Δt) raw".to_string(),
@@ -812,7 +846,7 @@ fn generalization(ctx: &ReproContext) -> String {
     );
     let mut config = vqoe_core::EncryptedEvalConfig::paper_default(ctx.scale.seed ^ 0x0666);
     config.spec.profile = vqoe_player::StreamingProfile::vimeo_like();
-    let other = vqoe_core::EncryptedWorld::build(&config);
+    let other = vqoe_core::EncryptedWorld::build(&config).expect("simulated world builds");
 
     let stall_home = ctx.stall.model.evaluate(&ctx.world.stall_eval_dataset());
     let stall_away = ctx.stall.model.evaluate(&other.stall_eval_dataset());
@@ -824,7 +858,8 @@ fn generalization(ctx: &ReproContext) -> String {
         .representation
         .model
         .evaluate(&other.representation_eval_dataset());
-    let sw_home = evaluate_switch_detector(&ctx.switch.detector, &ctx.world.labelled_switch_sessions());
+    let sw_home =
+        evaluate_switch_detector(&ctx.switch.detector, &ctx.world.labelled_switch_sessions());
     let sw_away = evaluate_switch_detector(&ctx.switch.detector, &other.labelled_switch_sessions());
 
     let mut t = Table::new(vec![
@@ -891,26 +926,26 @@ fn obfuscation(ctx: &ReproContext) -> String {
         })
         .collect();
 
-    let eval = |label: String, transform: &mut dyn FnMut(&SessionObs) -> SessionObs,
-                t: &mut Table| {
-        let mut stall_ok = 0usize;
-        let mut rq_ok = 0usize;
-        for (obs, stall_truth, rq_truth) in &sessions {
-            let defended = transform(obs);
-            if ctx.stall.model.predict(&defended).index() == *stall_truth {
-                stall_ok += 1;
+    let eval =
+        |label: String, transform: &mut dyn FnMut(&SessionObs) -> SessionObs, t: &mut Table| {
+            let mut stall_ok = 0usize;
+            let mut rq_ok = 0usize;
+            for (obs, stall_truth, rq_truth) in &sessions {
+                let defended = transform(obs);
+                if ctx.stall.model.predict(&defended).index() == *stall_truth {
+                    stall_ok += 1;
+                }
+                if ctx.representation.model.predict(&defended).index() == *rq_truth {
+                    rq_ok += 1;
+                }
             }
-            if ctx.representation.model.predict(&defended).index() == *rq_truth {
-                rq_ok += 1;
-            }
-        }
-        let n = sessions.len() as f64;
-        t.row(vec![
-            label,
-            format!("{:.3}", stall_ok as f64 / n),
-            format!("{:.3}", rq_ok as f64 / n),
-        ]);
-    };
+            let n = sessions.len() as f64;
+            t.row(vec![
+                label,
+                format!("{:.3}", stall_ok as f64 / n),
+                format!("{:.3}", rq_ok as f64 / n),
+            ]);
+        };
 
     let mut t = Table::new(vec!["countermeasure", "stall acc", "repr acc"]);
     eval("none (baseline)".to_string(), &mut |o| o.clone(), &mut t);

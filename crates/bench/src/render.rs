@@ -122,7 +122,10 @@ pub fn render_cdf(label: &str, unit: &str, steps: &[(f64, f64)], rows: usize) ->
     }
     for (x, f) in picked {
         let bar = "#".repeat((f * BAR_WIDTH as f64).round() as usize);
-        out.push_str(&format!("  {x:>12.3} {unit:<6} |{bar:<BAR_WIDTH$}| {:.3}\n", f));
+        out.push_str(&format!(
+            "  {x:>12.3} {unit:<6} |{bar:<BAR_WIDTH$}| {:.3}\n",
+            f
+        ));
     }
     out
 }

@@ -117,11 +117,7 @@ pub fn calibrate_threshold(
 ) -> (SwitchDetector, f64, f64) {
     let (threshold, acc_without, acc_with) =
         vqoe_stats::ecdf::best_separating_threshold(scores_without, scores_with);
-    (
-        SwitchDetector { threshold, config },
-        acc_without,
-        acc_with,
-    )
+    (SwitchDetector { threshold, config }, acc_without, acc_with)
 }
 
 #[cfg(test)]
@@ -171,10 +167,7 @@ mod tests {
             &steady_session(40, 100_000.0, 2.0, 2_000.0),
             &SwitchScoreConfig::default(),
         );
-        assert!(
-            score > steady * 10.0,
-            "switch {score} vs steady {steady}"
-        );
+        assert!(score > steady * 10.0, "switch {score} vs steady {steady}");
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub fn train_representation_detector_on(
         .filter(|r| selected_idx.contains(&r.index))
         .cloned()
         .collect();
-    selected.sort_by(|a, b| b.gain.partial_cmp(&a.gain).expect("finite gains"));
+    selected.sort_by(|a, b| b.gain.total_cmp(&a.gain));
     let ordered_idx: Vec<usize> = selected.iter().map(|r| r.index).collect();
 
     let reduced = full.select_features(&ordered_idx);
@@ -175,7 +175,9 @@ mod tests {
         let chunk_size_in_top5 = top5
             .iter()
             .filter(|n| {
-                n.contains("chunk size") || n.contains("chunk avg size") || n.contains("chunk Δsize")
+                n.contains("chunk size")
+                    || n.contains("chunk avg size")
+                    || n.contains("chunk Δsize")
             })
             .count();
         assert!(

@@ -141,14 +141,17 @@ fn capture(flags: &Flags) {
             Some(Err(_)) => usage("--subscriber wants a number"),
             None => i as u64,
         };
-        entries.extend(capture_session(
-            t,
-            &CaptureConfig {
-                encrypted,
-                subscriber_id,
-            },
-            &mut rng,
-        ));
+        entries.extend(
+            capture_session(
+                t,
+                &CaptureConfig {
+                    encrypted,
+                    subscriber_id,
+                },
+                &mut rng,
+            )
+            .unwrap_or_else(die(&traces_path)),
+        );
     }
     entries.sort_by_key(|e| e.timestamp);
     write_jsonl(&out, &entries).unwrap_or_else(die(&out));
@@ -186,7 +189,7 @@ fn train(flags: &Flags) {
         config.cleartext_sessions, config.adaptive_sessions, config.seed
     );
     let monitor = QoeMonitor::train(&config);
-    let json = monitor.to_json().expect("serialize model");
+    let json = monitor.to_json().unwrap_or_else(fail("serialize model"));
     std::fs::write(&out, json).unwrap_or_else(die(&out));
     eprintln!(
         "model written to {} (stall features: {:?})",
@@ -200,7 +203,7 @@ fn assess(flags: &Flags) {
     let weblogs = flags.path("weblogs");
     let out = flags.path("out");
     let json = std::fs::read_to_string(&model_path).unwrap_or_else(die(&model_path));
-    let monitor = QoeMonitor::from_json(&json).expect("parse model JSON");
+    let monitor = QoeMonitor::from_json(&json).unwrap_or_else(fail("parse model JSON"));
     let entries: Vec<WeblogEntry> = read_jsonl(&weblogs).unwrap_or_else(die(&weblogs));
 
     // Assess per subscriber (the reassembly state machine is
@@ -223,7 +226,14 @@ fn assess(flags: &Flags) {
     );
 }
 
-fn die<T>(path: &Path) -> impl FnOnce(std::io::Error) -> T + '_ {
+fn fail<E: std::fmt::Display, T>(what: &str) -> impl FnOnce(E) -> T + '_ {
+    move |e| {
+        eprintln!("error: {what}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn die<E: std::fmt::Display, T>(path: &Path) -> impl FnOnce(E) -> T + '_ {
     move |e| {
         eprintln!("error: {}: {e}", path.display());
         std::process::exit(1);

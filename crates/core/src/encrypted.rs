@@ -28,7 +28,7 @@ use vqoe_telemetry::capture::generate_noise;
 use vqoe_telemetry::dataset::JoinedSession;
 use vqoe_telemetry::{
     capture_session, join_sessions, reassemble_subscriber, CaptureConfig, ReassembledSession,
-    ReassemblyConfig, WeblogEntry,
+    ReassemblyConfig, TelemetryError, WeblogEntry,
 };
 
 use crate::spec::DatasetSpec;
@@ -73,8 +73,15 @@ pub struct EncryptedWorld {
 
 impl EncryptedWorld {
     /// Build the world from a configuration.
-    pub fn build(config: &EncryptedEvalConfig) -> Self {
-        let traces = crate::generate::generate_sequential_traces(&config.spec, config.mean_gap_secs);
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TelemetryError`] from the capture stage; with
+    /// simulator-generated traces (the only input this function takes)
+    /// capture cannot fail, so callers may treat an error as a bug.
+    pub fn build(config: &EncryptedEvalConfig) -> Result<Self, TelemetryError> {
+        let traces =
+            crate::generate::generate_sequential_traces(&config.spec, config.mean_gap_secs);
         let mut rng = StdRng::seed_from_u64(config.spec.seed ^ 0xE7C9_11AA);
         let mut entries: Vec<WeblogEntry> = Vec::new();
         let capture = CaptureConfig {
@@ -82,7 +89,7 @@ impl EncryptedWorld {
             subscriber_id: 1,
         };
         for trace in &traces {
-            entries.extend(capture_session(trace, &capture, &mut rng));
+            entries.extend(capture_session(trace, &capture, &mut rng)?);
         }
         if let (Some(first), Some(last)) = (traces.first(), traces.last()) {
             let noise = generate_noise(
@@ -97,12 +104,12 @@ impl EncryptedWorld {
         entries.sort_by_key(|e| e.timestamp);
         let sessions = reassemble_subscriber(&entries, &config.reassembly);
         let joined = join_sessions(&sessions, &traces);
-        EncryptedWorld {
+        Ok(EncryptedWorld {
             traces,
             entries,
             sessions,
             joined,
-        }
+        })
     }
 
     /// Fraction of ground-truth sessions successfully recovered and
@@ -174,7 +181,7 @@ mod tests {
     fn small_world(n: usize, seed: u64) -> EncryptedWorld {
         let mut config = EncryptedEvalConfig::paper_default(seed);
         config.spec.n_sessions = n;
-        EncryptedWorld::build(&config)
+        EncryptedWorld::build(&config).expect("simulated world builds")
     }
 
     #[test]

@@ -69,10 +69,14 @@ pub fn generate_traces(spec: &DatasetSpec) -> Vec<SessionTrace> {
             });
         }
     })
+    // A worker panic is a bug in the simulator itself; re-raising it is
+    // the only sane response. analyze:allow(expect)
     .expect("worker panicked during dataset generation");
 
     out.into_inner()
         .into_iter()
+        // The batch partition above covers 0..n exactly once, so every
+        // slot is filled when the scope joins. analyze:allow(expect)
         .map(|t| t.expect("every session index filled"))
         .collect()
 }

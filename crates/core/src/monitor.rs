@@ -119,7 +119,12 @@ impl QoeMonitor {
     }
 
     /// Assess one already-extracted session.
-    pub fn assess_session(&self, obs: &SessionObs, start: Instant, end: Instant) -> SessionAssessment {
+    pub fn assess_session(
+        &self,
+        obs: &SessionObs,
+        start: Instant,
+        end: Instant,
+    ) -> SessionAssessment {
         let score = session_score(&obs.chunk_points(), &self.switch_detector.config);
         let stall = self.stall_model.predict(obs);
         let representation = self.representation_model.predict(obs);
@@ -188,7 +193,7 @@ mod tests {
         let monitor = QoeMonitor::train(&tiny_config());
         let mut config = EncryptedEvalConfig::paper_default(52);
         config.spec.n_sessions = 12;
-        let world = EncryptedWorld::build(&config);
+        let world = EncryptedWorld::build(&config).expect("simulated world builds");
         let assessments = monitor.assess_subscriber(&world.entries);
         assert!(!assessments.is_empty());
         assert!(assessments.len() <= 13);
@@ -219,7 +224,7 @@ mod tests {
         let monitor = QoeMonitor::train(&tiny_config());
         let mut config = EncryptedEvalConfig::paper_default(53);
         config.spec.n_sessions = 10;
-        let world = EncryptedWorld::build(&config);
+        let world = EncryptedWorld::build(&config).expect("simulated world builds");
         for a in monitor.assess_subscriber(&world.entries) {
             assert_eq!(
                 a.has_quality_switches,

@@ -8,7 +8,7 @@
 //! [`SessionAssessment`] is emitted the moment a session's boundary is
 //! proven — no batch window, no replays.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vqoe_features::SessionObs;
 use vqoe_telemetry::{ReassembledSession, StreamReassembler, WeblogEntry};
@@ -19,14 +19,16 @@ use crate::monitor::{QoeMonitor, SessionAssessment};
 #[derive(Debug, Clone)]
 pub struct OnlineAssessor {
     monitor: QoeMonitor,
-    per_subscriber: HashMap<u64, StreamReassembler>,
+    // BTreeMap, not HashMap: `finish` walks this map, and assessments
+    // must come out in a stable (subscriber-id) order run after run.
+    per_subscriber: BTreeMap<u64, StreamReassembler>,
 }
 
 impl OnlineAssessor {
     /// Wrap a trained monitor.
     pub fn new(monitor: QoeMonitor) -> Self {
         OnlineAssessor {
-            per_subscriber: HashMap::new(),
+            per_subscriber: BTreeMap::new(),
             monitor,
         }
     }
@@ -51,7 +53,9 @@ impl OnlineAssessor {
     /// Close all open sessions (end of tap / end of day) and assess
     /// whatever qualifies.
     pub fn finish(mut self) -> Vec<SessionAssessment> {
-        let machines: Vec<StreamReassembler> = self.per_subscriber.drain().map(|(_, m)| m).collect();
+        let machines: Vec<StreamReassembler> = std::mem::take(&mut self.per_subscriber)
+            .into_values()
+            .collect();
         machines
             .into_iter()
             .filter_map(|m| m.finish())
@@ -69,7 +73,8 @@ impl OnlineAssessor {
 
     fn assess(&self, session: &ReassembledSession) -> SessionAssessment {
         let obs = SessionObs::from_reassembled(session);
-        self.monitor.assess_session(&obs, session.start, session.end)
+        self.monitor
+            .assess_session(&obs, session.start, session.end)
     }
 }
 
@@ -82,7 +87,7 @@ mod tests {
     fn world(n: usize, seed: u64) -> EncryptedWorld {
         let mut config = EncryptedEvalConfig::paper_default(seed);
         config.spec.n_sessions = n;
-        EncryptedWorld::build(&config)
+        EncryptedWorld::build(&config).expect("simulated world builds")
     }
 
     fn trained() -> QoeMonitor {
@@ -136,13 +141,18 @@ mod tests {
         let w1 = world(3, 74);
         let mut w2_cfg = EncryptedEvalConfig::paper_default(75);
         w2_cfg.spec.n_sessions = 3;
-        let mut w2 = EncryptedWorld::build(&w2_cfg);
+        let mut w2 = EncryptedWorld::build(&w2_cfg).expect("simulated world builds");
         // Rewrite subscriber ids so the streams are distinguishable.
         for e in &mut w2.entries {
             e.subscriber_id = 2;
         }
         // Interleave by timestamp (as a shared tap would see them).
-        let mut merged: Vec<_> = w1.entries.iter().chain(w2.entries.iter()).cloned().collect();
+        let mut merged: Vec<_> = w1
+            .entries
+            .iter()
+            .chain(w2.entries.iter())
+            .cloned()
+            .collect();
         merged.sort_by_key(|e| e.timestamp);
 
         let mut online = OnlineAssessor::new(monitor);

@@ -72,11 +72,7 @@ pub struct QoeScore {
 
 impl QoeScore {
     /// Compose a score from detector outputs.
-    pub fn from_assessment(
-        stall: StallClass,
-        quality: RqClass,
-        has_switches: bool,
-    ) -> QoeScore {
+    pub fn from_assessment(stall: StallClass, quality: RqClass, has_switches: bool) -> QoeScore {
         let base = base_mos(quality);
         let sp = stall_penalty(stall);
         let wp = switch_penalty(has_switches);

@@ -201,7 +201,10 @@ mod tests {
         // Commuting-heavy relative to the cleartext mix (0.13), even if
         // home launches still lead in absolute terms (§5.4: the healthy
         // encrypted sessions were mostly static).
-        assert!(enc.scenarios.commuting > 2.0 * DatasetSpec::cleartext_default(1, 0).scenarios.commuting);
+        assert!(
+            enc.scenarios.commuting
+                > 2.0 * DatasetSpec::cleartext_default(1, 0).scenarios.commuting
+        );
         let adaptive = DatasetSpec::adaptive_default(500, 7);
         assert_eq!(adaptive.delivery.dash_fraction, 1.0);
     }

@@ -116,7 +116,7 @@ pub fn train_stall_detector_on(
         .filter(|r| selected_idx.contains(&r.index))
         .cloned()
         .collect();
-    selected.sort_by(|a, b| b.gain.partial_cmp(&a.gain).expect("finite gains"));
+    selected.sort_by(|a, b| b.gain.total_cmp(&a.gain));
     let ordered_idx: Vec<usize> = selected.iter().map(|r| r.index).collect();
 
     let reduced = full.select_features(&ordered_idx);

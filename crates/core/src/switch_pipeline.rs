@@ -141,12 +141,7 @@ mod tests {
         let fresh = corpus(200, 33);
         let sessions: Vec<(SessionObs, bool)> = fresh
             .iter()
-            .map(|t| {
-                (
-                    SessionObs::from_trace(t),
-                    has_switches(&t.ground_truth),
-                )
-            })
+            .map(|t| (SessionObs::from_trace(t), has_switches(&t.ground_truth)))
             .collect();
         let eval = evaluate_switch_detector(&report.detector, &sessions);
         assert!(eval.n_with + eval.n_without == 200);

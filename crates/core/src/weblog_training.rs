@@ -19,7 +19,7 @@ use vqoe_ml::Dataset;
 use vqoe_player::{ContentType, SessionTrace};
 use vqoe_telemetry::groundtruth::{extract_sessions, ExtractedSession};
 use vqoe_telemetry::weblog::EntryKind;
-use vqoe_telemetry::{capture_session, CaptureConfig, WeblogEntry};
+use vqoe_telemetry::{capture_session, CaptureConfig, TelemetryError, WeblogEntry};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,7 +27,15 @@ use rand::SeedableRng;
 /// Capture a whole corpus of traces as one cleartext weblog stream
 /// (each session under its own subscriber, as the proxy would see a
 /// population of users).
-pub fn capture_cleartext_corpus(traces: &[SessionTrace], seed: u64) -> Vec<WeblogEntry> {
+///
+/// # Errors
+///
+/// Propagates [`TelemetryError`] from the capture stage; impossible for
+/// simulator-generated traces.
+pub fn capture_cleartext_corpus(
+    traces: &[SessionTrace],
+    seed: u64,
+) -> Result<Vec<WeblogEntry>, TelemetryError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut entries = Vec::new();
     for (i, trace) in traces.iter().enumerate() {
@@ -38,9 +46,9 @@ pub fn capture_cleartext_corpus(traces: &[SessionTrace], seed: u64) -> Vec<Weblo
                 subscriber_id: i as u64,
             },
             &mut rng,
-        ));
+        )?);
     }
-    entries
+    Ok(entries)
 }
 
 /// One session as reconstructed purely from cleartext weblogs: the
@@ -67,11 +75,19 @@ pub fn sessions_from_weblogs(entries: &[WeblogEntry]) -> Vec<WeblogSession> {
         if e.kind != EntryKind::MediaChunk {
             continue;
         }
-        let Some(uri) = e.uri.as_deref() else { continue };
+        let Some(uri) = e.uri.as_deref() else {
+            continue;
+        };
         if let Some(p) = vqoe_telemetry::uri::parse_videoplayback(uri) {
-            // Borrow the ID from the entry's own URI string.
-            let key_start = uri.find("cpn=").expect("encoder emits cpn") + 4;
-            let key = &uri[key_start..key_start + 16];
+            // Borrow the ID from the entry's own URI string; skip URIs
+            // the codec did not emit (no cpn parameter, truncated ID).
+            let Some(pos) = uri.find("cpn=") else {
+                continue;
+            };
+            let key_start = pos + 4;
+            let Some(key) = uri.get(key_start..key_start + 16) else {
+                continue;
+            };
             media_by_session.entry(key).or_default().push(e);
             let _ = p;
         }
@@ -151,7 +167,7 @@ mod tests {
     #[test]
     fn weblog_sessions_match_traces() {
         let traces = generate_traces(&DatasetSpec::cleartext_default(40, 91));
-        let entries = capture_cleartext_corpus(&traces, 7);
+        let entries = capture_cleartext_corpus(&traces, 7).expect("capture");
         let sessions = sessions_from_weblogs(&entries);
         assert_eq!(sessions.len(), traces.len());
         // Session IDs pair up and chunk counts agree.
@@ -168,7 +184,7 @@ mod tests {
     #[test]
     fn weblog_labels_match_simulator_labels() {
         let traces = generate_traces(&DatasetSpec::cleartext_default(60, 92));
-        let entries = capture_cleartext_corpus(&traces, 8);
+        let entries = capture_cleartext_corpus(&traces, 8).expect("capture");
         let sessions = sessions_from_weblogs(&entries);
         let mut checked = 0;
         for s in &sessions {
@@ -196,7 +212,7 @@ mod tests {
     #[test]
     fn weblog_datasets_match_trace_datasets() {
         let traces = generate_traces(&DatasetSpec::cleartext_default(30, 93));
-        let entries = capture_cleartext_corpus(&traces, 9);
+        let entries = capture_cleartext_corpus(&traces, 9).expect("capture");
         let from_weblogs = stall_dataset_from_weblogs(&entries);
         let from_traces = vqoe_features::build_stall_dataset(&traces);
         assert_eq!(from_weblogs.n_rows(), from_traces.n_rows());

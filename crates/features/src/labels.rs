@@ -213,11 +213,17 @@ mod tests {
 
     #[test]
     fn stall_label_from_ground_truth() {
-        assert_eq!(stall_label(&gt_with(0.0, 180.0, &[360])), StallClass::NoStalls);
+        assert_eq!(
+            stall_label(&gt_with(0.0, 180.0, &[360])),
+            StallClass::NoStalls
+        );
         // 9s stall / (171 + 9) = 0.05 → mild
         assert_eq!(stall_label(&gt_with(9.0, 171.0, &[360])), StallClass::Mild);
         // 30s stall / (150+30) ≈ 0.167 → severe
-        assert_eq!(stall_label(&gt_with(30.0, 150.0, &[360])), StallClass::Severe);
+        assert_eq!(
+            stall_label(&gt_with(30.0, 150.0, &[360])),
+            StallClass::Severe
+        );
     }
 
     #[test]
@@ -263,7 +269,10 @@ mod tests {
 
     #[test]
     fn class_indexing_and_names_align() {
-        assert_eq!(StallClass::names()[StallClass::Severe.index()], "severe stalls");
+        assert_eq!(
+            StallClass::names()[StallClass::Severe.index()],
+            "severe stalls"
+        );
         assert_eq!(RqClass::names()[RqClass::Hd.index()], "HD");
         assert_eq!(
             VariationClass::names()[VariationClass::NoVariation.index()],

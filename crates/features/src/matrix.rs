@@ -31,9 +31,7 @@ pub fn build_stall_dataset(traces: &[SessionTrace]) -> Dataset {
 
 /// Build a stall dataset from pre-extracted observations and labels
 /// (the encrypted-evaluation path).
-pub fn build_stall_dataset_from_obs(
-    sessions: &[(SessionObs, StallClass)],
-) -> Dataset {
+pub fn build_stall_dataset_from_obs(sessions: &[(SessionObs, StallClass)]) -> Dataset {
     let mut x = Vec::with_capacity(sessions.len());
     let mut y = Vec::with_capacity(sessions.len());
     for (obs, label) in sessions {
@@ -65,9 +63,7 @@ pub fn build_representation_dataset(traces: &[SessionTrace]) -> Dataset {
 
 /// Build a representation dataset from pre-extracted observations and
 /// labels (the encrypted-evaluation path).
-pub fn build_representation_dataset_from_obs(
-    sessions: &[(SessionObs, RqClass)],
-) -> Dataset {
+pub fn build_representation_dataset_from_obs(sessions: &[(SessionObs, RqClass)]) -> Dataset {
     let mut x = Vec::with_capacity(sessions.len());
     let mut y = Vec::with_capacity(sessions.len());
     for (obs, label) in sessions {

@@ -61,11 +61,7 @@ pub fn jitter_timing(obs: &SessionObs, max_jitter_secs: f64, rng: &mut StdRng) -
             }
         })
         .collect();
-    chunks.sort_by(|a, b| {
-        a.request_secs
-            .partial_cmp(&b.request_secs)
-            .expect("finite times")
-    });
+    chunks.sort_by(|a, b| a.request_secs.total_cmp(&b.request_secs));
     SessionObs { chunks }
 }
 
@@ -77,8 +73,11 @@ pub fn inject_dummies(obs: &SessionObs, fraction: f64, rng: &mut StdRng) -> Sess
         return obs.clone();
     }
     let n_dummies = ((obs.chunks.len() as f64) * fraction).round() as usize;
-    let t0 = obs.chunks.first().expect("non-empty").request_secs;
-    let t1 = obs.chunks.last().expect("non-empty").arrival_secs;
+    let (Some(first), Some(last)) = (obs.chunks.first(), obs.chunks.last()) else {
+        return obs.clone();
+    };
+    let t0 = first.request_secs;
+    let t1 = last.arrival_secs;
     let mut chunks = obs.chunks.clone();
     for _ in 0..n_dummies {
         let donor = obs.chunks[rng.gen_range(0..obs.chunks.len())];
@@ -92,11 +91,7 @@ pub fn inject_dummies(obs: &SessionObs, fraction: f64, rng: &mut StdRng) -> Sess
             ..donor
         });
     }
-    chunks.sort_by(|a, b| {
-        a.request_secs
-            .partial_cmp(&b.request_secs)
-            .expect("finite times")
-    });
+    chunks.sort_by(|a, b| a.request_secs.total_cmp(&b.request_secs));
     SessionObs { chunks }
 }
 
@@ -124,7 +119,13 @@ mod tests {
     fn obs() -> SessionObs {
         SessionObs {
             chunks: (0..10)
-                .map(|i| chunk(i as f64 * 3.0, i as f64 * 3.0 + 1.0, 100_000.0 + i as f64 * 7_000.0))
+                .map(|i| {
+                    chunk(
+                        i as f64 * 3.0,
+                        i as f64 * 3.0 + 1.0,
+                        100_000.0 + i as f64 * 7_000.0,
+                    )
+                })
                 .collect(),
         }
     }

@@ -110,7 +110,10 @@ impl SessionObs {
     /// Chunk points `(arrival_secs, bytes)` — the input shape of the
     /// `vqoe-changedet` switch detector.
     pub fn chunk_points(&self) -> Vec<(f64, f64)> {
-        self.chunks.iter().map(|c| (c.arrival_secs, c.bytes)).collect()
+        self.chunks
+            .iter()
+            .map(|c| (c.arrival_secs, c.bytes))
+            .collect()
     }
 
     /// Arrival times relative to the first chunk's request (the "chunk

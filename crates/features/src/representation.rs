@@ -21,21 +21,8 @@ use vqoe_stats::Summary;
 
 /// The fifteen §4.2 statistics, in a fixed order.
 pub const REP_STATS: [&str; 15] = [
-    "minimum",
-    "mean",
-    "maximum",
-    "std",
-    "5%",
-    "10%",
-    "15%",
-    "20%",
-    "25%",
-    "50%",
-    "75%",
-    "80%",
-    "85%",
-    "90%",
-    "95%",
+    "minimum", "mean", "maximum", "std", "5%", "10%", "15%", "20%", "25%", "50%", "75%", "80%",
+    "85%", "90%", "95%",
 ];
 
 /// The fourteen base series, in a fixed order. The first ten are the
@@ -93,7 +80,7 @@ fn metric_series(obs: &SessionObs, metric: usize) -> Vec<f64> {
 fn fifteen_stats(series: &[f64]) -> [f64; 15] {
     let s = Summary::from_slice(series);
     let mut sorted: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(f64::total_cmp);
     let q = |p: f64| {
         if sorted.is_empty() {
             0.0

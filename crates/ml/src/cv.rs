@@ -99,12 +99,7 @@ mod tests {
             x.push(vec![base + rng.gen_range(-0.8..0.8)]);
             y.push(c);
         }
-        Dataset::new(
-            vec!["f".into()],
-            vec!["common".into(), "rare".into()],
-            x,
-            y,
-        )
+        Dataset::new(vec!["f".into()], vec!["common".into(), "rare".into()], x, y)
     }
 
     #[test]
@@ -123,11 +118,9 @@ mod tests {
         let d = dataset(500, 3);
         let mut rng = StdRng::seed_from_u64(4);
         let folds = stratified_kfold(&d.y, 5, &mut rng);
-        let global_frac =
-            d.y.iter().filter(|&&c| c == 0).count() as f64 / d.n_rows() as f64;
+        let global_frac = d.y.iter().filter(|&&c| c == 0).count() as f64 / d.n_rows() as f64;
         for fold in &folds {
-            let frac =
-                fold.iter().filter(|&&r| d.y[r] == 0).count() as f64 / fold.len() as f64;
+            let frac = fold.iter().filter(|&&r| d.y[r] == 0).count() as f64 / fold.len() as f64;
             assert!(
                 (frac - global_frac).abs() < 0.08,
                 "fold mix {frac} vs global {global_frac}"

@@ -113,12 +113,7 @@ impl Dataset {
     /// chosen uniformly without replacement; the output is shuffled.
     pub fn balanced_downsample(&self, rng: &mut StdRng) -> Dataset {
         let counts = self.class_counts();
-        let target = counts
-            .iter()
-            .copied()
-            .filter(|&c| c > 0)
-            .min()
-            .unwrap_or(0);
+        let target = counts.iter().copied().filter(|&c| c > 0).min().unwrap_or(0);
         let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes()];
         for (i, &label) in self.y.iter().enumerate() {
             per_class[label].push(i);

@@ -73,7 +73,9 @@ impl RandomForest {
         let mut oob_counted = vec![false; n];
         for t in 0..config.n_trees {
             let mut rng = StdRng::seed_from_u64(
-                config.seed.wrapping_add((t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                config
+                    .seed
+                    .wrapping_add((t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             );
             // Bootstrap resample (with replacement).
             let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
@@ -84,8 +86,7 @@ impl RandomForest {
             let tree = DecisionTree::fit(data, &rows, tree_config, &mut rng);
             for r in 0..n {
                 if !in_bag[r] {
-                    for (acc, &p) in oob_votes[r].iter_mut().zip(tree.predict_proba(&data.x[r]))
-                    {
+                    for (acc, &p) in oob_votes[r].iter_mut().zip(tree.predict_proba(&data.x[r])) {
                         *acc += p;
                     }
                     oob_counted[r] = true;
@@ -232,8 +233,10 @@ mod tests {
     #[test]
     fn different_seeds_give_different_forests() {
         let d = blobs(60, 5);
-        let mut cfg2 = ForestConfig::default();
-        cfg2.seed = 123;
+        let cfg2 = ForestConfig {
+            seed: 123,
+            ..ForestConfig::default()
+        };
         let f1 = RandomForest::fit(&d, ForestConfig::default());
         let f2 = RandomForest::fit(&d, cfg2);
         assert_ne!(f1, f2);
@@ -275,7 +278,11 @@ mod tests {
         assert!(oob > 0.8, "oob {oob}");
         let test = blobs(100, 10);
         let preds = forest.predict_all(&test);
-        let test_acc = preds.iter().zip(test.y.iter()).filter(|(p, y)| p == y).count() as f64
+        let test_acc = preds
+            .iter()
+            .zip(test.y.iter())
+            .filter(|(p, y)| p == y)
+            .count() as f64
             / test.n_rows() as f64;
         assert!((oob - test_acc).abs() < 0.1, "oob {oob} vs test {test_acc}");
     }
@@ -315,7 +322,10 @@ mod tests {
         let mut y = Vec::new();
         for c in 0..2usize {
             for _ in 0..100 {
-                x.push(vec![c as f64 * 4.0 + rng.gen_range(-1.0..1.0), rng.gen_range(-10.0..10.0)]);
+                x.push(vec![
+                    c as f64 * 4.0 + rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-10.0..10.0),
+                ]);
                 y.push(c);
             }
         }

@@ -291,8 +291,8 @@ mod tests {
     fn weighted_average_uses_support() {
         let m = paper_like();
         let avg = m.weighted_average();
-        let expected = (10_000.0 * m.tp_rate(0) + 1_000.0 * m.tp_rate(1) + 1_000.0 * m.tp_rate(2))
-            / 12_000.0;
+        let expected =
+            (10_000.0 * m.tp_rate(0) + 1_000.0 * m.tp_rate(1) + 1_000.0 * m.tp_rate(2)) / 12_000.0;
         assert!((avg.tp_rate - expected).abs() < 1e-9);
         assert_eq!(avg.support, 12_000);
     }

@@ -138,7 +138,11 @@ pub fn cfs_best_first(data: &Dataset, max_stale: usize) -> Vec<usize> {
     while let Some(pos) = frontier
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| {
+            a.1 .0
+                .partial_cmp(&b.1 .0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .map(|(i, _)| i)
     {
         let (_, subset) = frontier.swap_remove(pos);
@@ -282,7 +286,10 @@ mod tests {
             y,
         );
         let selected = cfs_best_first(&d, 5);
-        let names: Vec<&str> = selected.iter().map(|&f| d.feature_names[f].as_str()).collect();
+        let names: Vec<&str> = selected
+            .iter()
+            .map(|&f| d.feature_names[f].as_str())
+            .collect();
         assert!(names.contains(&"fa"), "{names:?}");
         assert!(names.contains(&"fb"), "{names:?}");
         assert!(!names.contains(&"junk"), "{names:?}");

@@ -101,7 +101,7 @@ impl DecisionTree {
     fn grow(
         &mut self,
         data: &Dataset,
-        rows: &mut Vec<usize>,
+        rows: &mut [usize],
         depth: usize,
         config: TreeConfig,
         rng: &mut StdRng,
@@ -118,9 +118,8 @@ impl DecisionTree {
             if let Some((feature, threshold, gain)) =
                 self.best_split(data, rows, &counts, config, rng)
             {
-                let (mut left_rows, mut right_rows): (Vec<usize>, Vec<usize>) = rows
-                    .iter()
-                    .partition(|&&r| data.x[r][feature] <= threshold);
+                let (mut left_rows, mut right_rows): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&r| data.x[r][feature] <= threshold);
                 if !left_rows.is_empty() && !right_rows.is_empty() {
                     let idx = self.nodes.len();
                     let weight = gain * rows.len() as f64 / root_total.max(1.0);

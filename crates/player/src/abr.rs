@@ -109,9 +109,7 @@ impl AbrState {
         }
         self.estimate_bps = Some(match self.estimate_bps {
             None => bps,
-            Some(old) => {
-                self.config.ewma_alpha * bps + (1.0 - self.config.ewma_alpha) * old
-            }
+            Some(old) => self.config.ewma_alpha * bps + (1.0 - self.config.ewma_alpha) * old,
         });
     }
 

@@ -158,9 +158,7 @@ impl PlayoutBuffer {
                 self.phase = PlayerPhase::Finished;
             } else {
                 let stall_start = Instant::from_secs(0)
-                    + Duration::from_secs_f64(
-                        (t.as_secs_f64() - (dt - played_part)).max(0.0),
-                    );
+                    + Duration::from_secs_f64((t.as_secs_f64() - (dt - played_part)).max(0.0));
                 self.phase = PlayerPhase::Stalled;
                 self.current_stall_start = Some(stall_start);
             }
@@ -194,13 +192,13 @@ impl PlayoutBuffer {
                 let enough = self.buffered >= self.config.rebuffer_threshold
                     || self.pushed >= self.total_media - 1e-9;
                 if enough {
-                    let start = self
-                        .current_stall_start
-                        .take()
-                        .expect("stalled phase has a stall start");
-                    let duration = self.clock.duration_since(start);
-                    if duration.as_secs_f64() >= self.config.min_stall_secs {
-                        self.stalls.push(StallEvent { start, duration });
+                    // The stall start is always recorded on entering the
+                    // Stalled phase; if-let keeps this panic-free anyway.
+                    if let Some(start) = self.current_stall_start.take() {
+                        let duration = self.clock.duration_since(start);
+                        if duration.as_secs_f64() >= self.config.min_stall_secs {
+                            self.stalls.push(StallEvent { start, duration });
+                        }
                     }
                     self.phase = PlayerPhase::Playing;
                 }
@@ -237,13 +235,11 @@ impl PlayoutBuffer {
             }
             PlayerPhase::Stalled => {
                 // Session ends inside a stall (abandonment): close it.
-                let start = self
-                    .current_stall_start
-                    .take()
-                    .expect("stalled phase has a stall start");
-                let duration = self.clock.duration_since(start);
-                if duration.as_secs_f64() >= self.config.min_stall_secs {
-                    self.stalls.push(StallEvent { start, duration });
+                if let Some(start) = self.current_stall_start.take() {
+                    let duration = self.clock.duration_since(start);
+                    if duration.as_secs_f64() >= self.config.min_stall_secs {
+                        self.stalls.push(StallEvent { start, duration });
+                    }
                 }
                 self.clock
             }
@@ -337,7 +333,7 @@ mod tests {
     fn stall_is_recorded_with_exact_timing() {
         let mut b = buf(100.0);
         b.push_media(Instant::ZERO, 5.0); // playing from t=0
-        // Nothing arrives until t=9: buffer dies at t=5.
+                                          // Nothing arrives until t=9: buffer dies at t=5.
         b.advance_to(Instant::from_secs(9));
         assert_eq!(b.phase(), PlayerPhase::Stalled);
         // 2.0 s of media resumes playback at t=10.

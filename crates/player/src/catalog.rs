@@ -93,7 +93,14 @@ impl Itag {
 
     /// Ladder index (0 = worst).
     pub fn ladder_index(self) -> usize {
-        LADDER.iter().position(|&i| i == self).expect("in ladder")
+        match self {
+            Itag::Q144 => 0,
+            Itag::Q240 => 1,
+            Itag::Q360 => 2,
+            Itag::Q480 => 3,
+            Itag::Q720 => 4,
+            Itag::Q1080 => 5,
+        }
     }
 
     /// The rung `steps` above (saturating at 1080p).
@@ -275,10 +282,7 @@ mod tests {
         let plain = avg(false, &mut rng);
         let muxed = avg(true, &mut rng);
         // 128 kbps over 5 s = 80 KB of audio.
-        assert!(
-            muxed - plain > 50_000.0,
-            "muxed {muxed} vs plain {plain}"
-        );
+        assert!(muxed - plain > 50_000.0, "muxed {muxed} vs plain {plain}");
     }
 
     #[test]

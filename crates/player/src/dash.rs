@@ -193,7 +193,7 @@ mod tests {
         let seeds = SeedSequence::new(5150);
         let mut eligible = 0;
         let mut ramped = 0;
-        for idx in 0..25 {
+        for idx in 0..50 {
             // Re-derive the device cap the session was simulated with.
             let mut meta_rng = seeds.child(0x5E55).stream(idx);
             let video = VideoMeta::sample(&mut meta_rng);
@@ -255,7 +255,10 @@ mod tests {
         // Average 144p chunk vs average >=480p chunk sizes.
         let mut lo = Vec::new();
         let mut hi = Vec::new();
-        for c in chunks.iter().filter(|c| c.content_type == ContentType::Video) {
+        for c in chunks
+            .iter()
+            .filter(|c| c.content_type == ContentType::Video)
+        {
             match c.itag.unwrap() {
                 Itag::Q144 => lo.push(c.bytes as f64),
                 i if i.resolution() >= 480 => hi.push(c.bytes as f64),
@@ -271,27 +274,35 @@ mod tests {
 
     #[test]
     fn adaptive_stalls_less_than_progressive_in_bad_networks() {
-        let seeds = SeedSequence::new(88);
+        // The per-seed comparison is noisy: DASH segments only become
+        // playable when complete, so a single badly timed outage can
+        // cost one DASH population more than the same outage costs the
+        // drip-fed progressive one. Aggregating 25 paired sessions over
+        // five consecutive seeds keeps the claim about the *mean*, which
+        // is what adaptation actually buys.
         let mut dash_stall_time = 0.0;
         let mut prog_stall_time = 0.0;
-        for idx in 0..25 {
-            let config = SessionConfig {
-                session_index: idx,
-                scenario: Scenario::CongestedCell,
-                delivery: Delivery::Dash(AbrKind::Hybrid),
-                start_time: Instant::ZERO,
-                profile: Default::default(),
-            };
-            let mut meta_rng = seeds.child(0x5E55).stream(idx);
-            let video = VideoMeta::sample(&mut meta_rng);
-            let _ = crate::session::generate_session_id(&mut meta_rng);
-            let patience = Patience::sample(&mut meta_rng);
-            let (_, gt_dash) =
-                simulate_dash(&config, &video, patience, AbrKind::Hybrid, &seeds);
-            let (_, gt_prog) =
-                crate::progressive::simulate_progressive(&config, &video, patience, &seeds);
-            dash_stall_time += gt_dash.total_stall_time().as_secs_f64();
-            prog_stall_time += gt_prog.total_stall_time().as_secs_f64();
+        for seed in 88..93 {
+            let seeds = SeedSequence::new(seed);
+            for idx in 0..25 {
+                let config = SessionConfig {
+                    session_index: idx,
+                    scenario: Scenario::CongestedCell,
+                    delivery: Delivery::Dash(AbrKind::Hybrid),
+                    start_time: Instant::ZERO,
+                    profile: Default::default(),
+                };
+                let mut meta_rng = seeds.child(0x5E55).stream(idx);
+                let video = VideoMeta::sample(&mut meta_rng);
+                let _ = crate::session::generate_session_id(&mut meta_rng);
+                let patience = Patience::sample(&mut meta_rng);
+                let (_, gt_dash) =
+                    simulate_dash(&config, &video, patience, AbrKind::Hybrid, &seeds);
+                let (_, gt_prog) =
+                    crate::progressive::simulate_progressive(&config, &video, patience, &seeds);
+                dash_stall_time += gt_dash.total_stall_time().as_secs_f64();
+                prog_stall_time += gt_prog.total_stall_time().as_secs_f64();
+            }
         }
         // Adaptation is the whole point: DASH must stall materially less.
         assert!(

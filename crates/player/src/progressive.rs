@@ -50,12 +50,8 @@ fn choose_quality(
 ) -> Itag {
     use vqoe_simnet::channel::Scenario;
     let weights: [f64; 6] = match scenario {
-        Scenario::StaticHome | Scenario::StaticOffice => {
-            [0.14, 0.24, 0.29, 0.18, 0.11, 0.04]
-        }
-        Scenario::Commuting | Scenario::CongestedCell => {
-            [0.34, 0.32, 0.22, 0.08, 0.03, 0.01]
-        }
+        Scenario::StaticHome | Scenario::StaticOffice => [0.14, 0.24, 0.29, 0.18, 0.11, 0.04],
+        Scenario::Commuting | Scenario::CongestedCell => [0.34, 0.32, 0.22, 0.08, 0.03, 0.01],
     };
     let total: f64 = weights.iter().sum();
     let mut x: f64 = rng.gen_range(0.0..total);
@@ -113,8 +109,7 @@ pub fn simulate_progressive(
 
         // OFF period: buffer full, pause requesting until it drains.
         if buffer.buffered_secs() >= profile.prog_high_watermark {
-            if let Some(resume_at) =
-                buffer.time_when_buffer_reaches(profile.prog_resume_watermark)
+            if let Some(resume_at) = buffer.time_when_buffer_reaches(profile.prog_resume_watermark)
             {
                 buffer.advance_to(resume_at);
                 now = resume_at;

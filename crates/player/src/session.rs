@@ -182,7 +182,10 @@ impl GroundTruth {
         if self.segment_resolutions.is_empty() {
             return 0.0;
         }
-        self.segment_resolutions.iter().map(|&r| r as f64).sum::<f64>()
+        self.segment_resolutions
+            .iter()
+            .map(|&r| r as f64)
+            .sum::<f64>()
             / self.segment_resolutions.len() as f64
     }
 }
@@ -258,8 +261,7 @@ impl Patience {
 /// Generate the 16-character session ID (base64url alphabet, like the
 /// real parameter).
 pub fn generate_session_id(rng: &mut StdRng) -> String {
-    const ALPHABET: &[u8] =
-        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+    const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
     (0..16)
         .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
         .collect()

@@ -405,7 +405,10 @@ mod tests {
             Scenario::CongestedCell,
         ] {
             let init: f64 = scenario.initial_distribution().iter().sum();
-            assert!((init - 1.0).abs() < 1e-9, "{scenario:?} init sums to {init}");
+            assert!(
+                (init - 1.0).abs() < 1e-9,
+                "{scenario:?} init sums to {init}"
+            );
             for s in ALL_STATES {
                 let row_sum: f64 = scenario.transition_row(s).iter().sum();
                 assert!(
@@ -466,7 +469,10 @@ mod tests {
         let seeds = SeedSequence::new(7);
         let mut degraded = [0u32; 2];
         let mut total = [0u32; 2];
-        for (si, scenario) in [Scenario::StaticHome, Scenario::Commuting].iter().enumerate() {
+        for (si, scenario) in [Scenario::StaticHome, Scenario::Commuting]
+            .iter()
+            .enumerate()
+        {
             for idx in 0..60 {
                 let mut ch = RadioChannel::new(*scenario, &seeds, idx);
                 for step in 1..120u64 {
@@ -501,7 +507,13 @@ mod tests {
             }
         }
         let means: Vec<f64> = (0..5)
-            .map(|i| if counts[i] > 0 { sums[i] / counts[i] as f64 } else { 0.0 })
+            .map(|i| {
+                if counts[i] > 0 {
+                    sums[i] / counts[i] as f64
+                } else {
+                    0.0
+                }
+            })
             .collect();
         // Excellent > Good > Fair > Poor > Outage wherever observed.
         for w in means.windows(2) {

@@ -46,7 +46,10 @@ impl SeedSequence {
 
     /// The RNG for stream `index` (e.g. one per session).
     pub fn stream(&self, index: u64) -> StdRng {
-        let seed = splitmix64(self.master.wrapping_add(splitmix64(index ^ 0x9E37_79B9_7F4A_7C15)));
+        let seed = splitmix64(
+            self.master
+                .wrapping_add(splitmix64(index ^ 0x9E37_79B9_7F4A_7C15)),
+        );
         StdRng::seed_from_u64(seed)
     }
 }

@@ -337,8 +337,7 @@ impl TcpConnection {
                         stats.arrivals.push((now + round_time, delivered));
                     }
                     let srtt = Duration::from_secs_f64(rtt_sample);
-                    let rto_base = if self.config.min_rto.as_secs_f64() > 2.0 * srtt.as_secs_f64()
-                    {
+                    let rto_base = if self.config.min_rto.as_secs_f64() > 2.0 * srtt.as_secs_f64() {
                         self.config.min_rto
                     } else {
                         srtt.mul_f64(2.0)
@@ -519,7 +518,13 @@ mod tests {
         let grown = conn.cwnd();
         assert!(grown > TcpConfig::default().initial_cwnd);
         // Immediately-following chunk keeps the window.
-        let s1 = conn.transfer(&mut ch, &mut rng, Instant::from_millis(2_100), 100_000, None);
+        let s1 = conn.transfer(
+            &mut ch,
+            &mut rng,
+            Instant::from_millis(2_100),
+            100_000,
+            None,
+        );
         assert!(conn.cwnd() >= grown.min(TcpConfig::default().max_cwnd) / 2);
         // A long idle collapses it back to the initial window.
         let idle_start = s1.end + Duration::from_secs(30);

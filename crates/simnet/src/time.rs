@@ -186,19 +186,13 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: Duration = [1u64, 2, 3]
-            .iter()
-            .map(|&s| Duration::from_secs(s))
-            .sum();
+        let total: Duration = [1u64, 2, 3].iter().map(|&s| Duration::from_secs(s)).sum();
         assert_eq!(total, Duration::from_secs(6));
     }
 
     #[test]
     fn mul_f64_scales() {
-        assert_eq!(
-            Duration::from_secs(10).mul_f64(0.5),
-            Duration::from_secs(5)
-        );
+        assert_eq!(Duration::from_secs(10).mul_f64(0.5), Duration::from_secs(5));
         assert_eq!(Duration::from_secs(10).mul_f64(-1.0), Duration::ZERO);
     }
 

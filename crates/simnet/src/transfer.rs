@@ -101,13 +101,18 @@ impl TransferEngine {
     /// Download `bytes` starting at `start`. `throttle_bps` caps the
     /// server sending rate (steady-state pacing); `None` downloads at
     /// full speed (start-up burst / urgent refill).
-    pub fn fetch(&mut self, start: Instant, bytes: u64, throttle_bps: Option<f64>) -> ChunkTransfer {
+    pub fn fetch(
+        &mut self,
+        start: Instant,
+        bytes: u64,
+        throttle_bps: Option<f64>,
+    ) -> ChunkTransfer {
         let start = start + std::mem::take(&mut self.first_fetch_extra);
         self.channel.advance_to(start);
         let radio_state = self.channel.state();
-        let mut stats = self
-            .connection
-            .transfer(&mut self.channel, &mut self.rng, start, bytes, throttle_bps);
+        let mut stats =
+            self.connection
+                .transfer(&mut self.channel, &mut self.rng, start, bytes, throttle_bps);
         // Apply the session's systematic estimation bias to the proxy's
         // transport annotations (see field docs). Sizes and timings are
         // exact; only the inferred quantities are biased.

@@ -46,7 +46,7 @@ impl Discretizer {
         if finite.is_empty() {
             return Discretizer { cuts: Vec::new() };
         }
-        finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        finite.sort_by(f64::total_cmp);
         let cuts = match strategy {
             BinningStrategy::EqualWidth { bins } => {
                 let lo = finite[0];
@@ -91,10 +91,10 @@ impl Discretizer {
             .zip(labels.iter().copied())
             .filter(|(v, _)| v.is_finite())
             .collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values compare"));
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut cuts = Vec::new();
         split_recursive(&pairs, max_depth, &mut cuts);
-        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        cuts.sort_by(f64::total_cmp);
         cuts.dedup();
         Discretizer { cuts }
     }

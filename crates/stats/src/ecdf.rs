@@ -19,7 +19,7 @@ impl Ecdf {
     /// Build an ECDF from a sample. Non-finite values are dropped.
     pub fn new(sample: &[f64]) -> Self {
         let mut sorted: Vec<f64> = sample.iter().copied().filter(|v| v.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(f64::total_cmp);
         Ecdf { sorted }
     }
 
@@ -122,7 +122,7 @@ pub fn best_separating_threshold(below: &[f64], above: &[f64]) -> (f64, f64, f64
         .copied()
         .filter(|v| v.is_finite())
         .collect();
-    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    candidates.sort_by(f64::total_cmp);
     candidates.dedup();
     let mut best = (0.0, 0.0, 0.0);
     let mut best_score = f64::NEG_INFINITY;
@@ -197,7 +197,7 @@ mod tests {
         let below = [1.0, 2.0, 3.0];
         let above = [10.0, 11.0, 12.0];
         let (t, ok_b, ok_a) = best_separating_threshold(&below, &above);
-        assert!(t >= 3.0 && t < 10.0);
+        assert!((3.0..10.0).contains(&t));
         assert_eq!(ok_b, 1.0);
         assert_eq!(ok_a, 1.0);
     }
@@ -208,7 +208,7 @@ mod tests {
         let below = [1.0, 2.0, 3.0, 4.0, 50.0];
         let above = [10.0, 20.0, 30.0, 40.0, 60.0];
         let (t, ok_b, ok_a) = best_separating_threshold(&below, &above);
-        assert!(t >= 4.0 && t < 10.0, "t = {t}");
+        assert!((4.0..10.0).contains(&t), "t = {t}");
         assert!((ok_b - 0.8).abs() < 1e-12);
         assert_eq!(ok_a, 1.0);
     }

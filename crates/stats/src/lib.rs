@@ -90,7 +90,7 @@ impl Summary {
                 p75: 0.0,
             };
         }
-        finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        finite.sort_by(f64::total_cmp);
         let count = finite.len();
         let mean = moments::mean(&finite);
         let std_dev = moments::population_std(&finite);

@@ -15,7 +15,7 @@ pub fn quantile(data: &[f64], q: f64) -> f64 {
     if finite.is_empty() {
         return 0.0;
     }
-    finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    finite.sort_by(f64::total_cmp);
     quantile_sorted(&finite, q)
 }
 
@@ -52,7 +52,7 @@ pub fn quantiles(data: &[f64], qs: &[f64]) -> Vec<f64> {
     if finite.is_empty() {
         return vec![0.0; qs.len()];
     }
-    finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    finite.sort_by(f64::total_cmp);
     qs.iter().map(|&q| quantile_sorted(&finite, q)).collect()
 }
 

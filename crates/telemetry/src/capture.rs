@@ -9,6 +9,7 @@
 //! for encrypted traffic leans on exactly this structure, so the capture
 //! stage reproduces all three transaction populations.
 
+use crate::error::TelemetryError;
 use crate::uri;
 use crate::weblog::{EntryKind, WeblogEntry};
 use rand::rngs::StdRng;
@@ -30,11 +31,17 @@ const STATS_INTERVAL: Duration = Duration(30_000_000);
 
 /// Render one simulated session into its weblog entries, in timestamp
 /// order.
+///
+/// # Errors
+///
+/// Returns [`TelemetryError::MissingItag`] if a video chunk of `trace`
+/// lacks its itag annotation — possible only for traces deserialized
+/// from a corrupt or hand-edited file, never for simulator output.
 pub fn capture_session(
     trace: &SessionTrace,
     cfg: &CaptureConfig,
     rng: &mut StdRng,
-) -> Vec<WeblogEntry> {
+) -> Result<Vec<WeblogEntry>, TelemetryError> {
     let mut entries = Vec::new();
     let cache_host = media_host(rng);
 
@@ -86,10 +93,13 @@ pub fn capture_session(
     // --- 2. Media chunks ---
     for chunk in &trace.chunks {
         let (mime, itag_code) = match chunk.content_type {
-            ContentType::Video => (
-                "video",
-                chunk.itag.expect("video chunks carry an itag").itag_code(),
-            ),
+            ContentType::Video => {
+                let itag = chunk.itag.ok_or_else(|| TelemetryError::MissingItag {
+                    session_id: trace.session_id.clone(),
+                    chunk_index: u64::from(chunk.index),
+                })?;
+                ("video", itag.itag_code())
+            }
             ContentType::Audio => ("audio", vqoe_player::catalog::AUDIO_ITAG_CODE),
         };
         let path = uri::encode_videoplayback(&uri::VideoPlaybackParams {
@@ -124,7 +134,7 @@ pub fn capture_session(
     entries.push(stats_entry(trace, cfg, gt.session_end, final_state, rng));
 
     entries.sort_by_key(|e| e.timestamp);
-    entries
+    Ok(entries)
 }
 
 fn stats_entry(
@@ -142,7 +152,11 @@ fn stats_entry(
         if s.start < at {
             count += 1;
             let end = s.start + s.duration;
-            let visible = if end <= at { s.duration } else { at.duration_since(s.start) };
+            let visible = if end <= at {
+                s.duration
+            } else {
+                at.duration_since(s.start)
+            };
             secs += visible.as_secs_f64();
         }
     }
@@ -273,8 +287,31 @@ mod tests {
                 subscriber_id: 42,
             },
             &mut rng,
-        );
+        )
+        .expect("simulated traces always capture");
         (t, entries)
+    }
+
+    #[test]
+    fn missing_itag_is_an_error_not_a_panic() {
+        let mut t = trace(0, Delivery::Dash(AbrKind::Hybrid));
+        let stripped = t
+            .chunks
+            .iter_mut()
+            .find(|c| c.content_type == ContentType::Video)
+            .map(|c| c.itag = None)
+            .is_some();
+        assert!(stripped, "trace has no video chunks to corrupt");
+        let mut rng = StdRng::seed_from_u64(5);
+        let res = capture_session(
+            &t,
+            &CaptureConfig {
+                encrypted: false,
+                subscriber_id: 1,
+            },
+            &mut rng,
+        );
+        assert!(matches!(res, Err(TelemetryError::MissingItag { .. })));
     }
 
     #[test]
@@ -329,15 +366,19 @@ mod tests {
         let (t, entries) = capture(false);
         let last_report = entries
             .iter()
-            .filter(|e| e.kind == EntryKind::StatsReport)
-            .next_back()
+            .rfind(|e| e.kind == EntryKind::StatsReport)
             .unwrap();
         let r = uri::parse_stats_report(last_report.uri.as_ref().unwrap()).unwrap();
         assert_eq!(r.stall_count as usize, t.ground_truth.stall_count());
-        assert!(
-            (r.stall_secs - t.ground_truth.total_stall_time().as_secs_f64()).abs() < 1e-3
+        assert!((r.stall_secs - t.ground_truth.total_stall_time().as_secs_f64()).abs() < 1e-3);
+        assert_eq!(
+            r.state,
+            if t.ground_truth.abandoned {
+                "paused"
+            } else {
+                "ended"
+            }
         );
-        assert_eq!(r.state, if t.ground_truth.abandoned { "paused" } else { "ended" });
     }
 
     #[test]
@@ -367,13 +408,7 @@ mod tests {
     #[test]
     fn noise_is_outside_the_service_domain_filter() {
         let mut rng = StdRng::seed_from_u64(9);
-        let noise = generate_noise(
-            1,
-            Instant::ZERO,
-            Instant::from_secs(600),
-            50,
-            &mut rng,
-        );
+        let noise = generate_noise(1, Instant::ZERO, Instant::from_secs(600), 50, &mut rng);
         assert_eq!(noise.len(), 50);
         assert!(noise.iter().all(|e| !e.is_service_host()));
         for w in noise.windows(2) {

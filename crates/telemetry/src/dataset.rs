@@ -7,6 +7,7 @@
 //! matching; the JSONL helpers persist any serializable dataset line by
 //! line so experiment stages can be run and inspected independently.
 
+use crate::error::TelemetryError;
 use crate::reassembly::ReassembledSession;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -45,7 +46,7 @@ pub fn join_sessions(
             }
         }
     }
-    candidates.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    candidates.sort_by(|a, b| b.score.total_cmp(&a.score));
     let mut used_r = vec![false; reassembled.len()];
     let mut used_t = vec![false; truths.len()];
     let mut out = Vec::new();
@@ -71,7 +72,11 @@ fn match_score(r: &ReassembledSession, t: &SessionTrace) -> f64 {
         return 0.0;
     }
     let overlap = overlap_end.duration_since(overlap_start).as_secs_f64();
-    let union = r.end.max(t_end).duration_since(r.start.min(t_start)).as_secs_f64();
+    let union = r
+        .end
+        .max(t_end)
+        .duration_since(r.start.min(t_start))
+        .as_secs_f64();
     let temporal = if union > 0.0 { overlap / union } else { 0.0 };
     let cr = r.chunk_count() as f64;
     let ct = t.chunks.len() as f64;
@@ -80,20 +85,22 @@ fn match_score(r: &ReassembledSession, t: &SessionTrace) -> f64 {
 }
 
 /// Write `items` to `path` as JSON Lines.
-pub fn write_jsonl<T: Serialize>(path: &Path, items: &[T]) -> std::io::Result<()> {
+pub fn write_jsonl<T: Serialize>(path: &Path, items: &[T]) -> Result<(), TelemetryError> {
     let file = std::fs::File::create(path)?;
     let mut w = BufWriter::new(file);
-    for item in items {
-        serde_json::to_writer(&mut w, item)?;
+    for (index, item) in items.iter().enumerate() {
+        serde_json::to_writer(&mut w, item)
+            .map_err(|source| TelemetryError::Serialize { index, source })?;
         w.write_all(b"\n")?;
     }
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Read a JSON Lines file written by [`write_jsonl`]. Blank lines are
 /// skipped; a malformed line is an error (corrupt dataset files should
 /// fail loudly, not silently shrink).
-pub fn read_jsonl<T: DeserializeOwned>(path: &Path) -> std::io::Result<Vec<T>> {
+pub fn read_jsonl<T: DeserializeOwned>(path: &Path) -> Result<Vec<T>, TelemetryError> {
     let file = std::fs::File::open(path)?;
     let reader = std::io::BufReader::new(file);
     let mut out = Vec::new();
@@ -102,11 +109,9 @@ pub fn read_jsonl<T: DeserializeOwned>(path: &Path) -> std::io::Result<Vec<T>> {
         if line.trim().is_empty() {
             continue;
         }
-        let item: T = serde_json::from_str(&line).map_err(|e| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("line {}: {e}", lineno + 1),
-            )
+        let item: T = serde_json::from_str(&line).map_err(|source| TelemetryError::Parse {
+            line: lineno + 1,
+            source,
         })?;
         out.push(item);
     }
@@ -142,14 +147,17 @@ mod tests {
                 },
                 &seeds,
             );
-            entries.extend(capture_session(
-                &trace,
-                &CaptureConfig {
-                    encrypted: true,
-                    subscriber_id: 1,
-                },
-                &mut rng,
-            ));
+            entries.extend(
+                capture_session(
+                    &trace,
+                    &CaptureConfig {
+                        encrypted: true,
+                        subscriber_id: 1,
+                    },
+                    &mut rng,
+                )
+                .expect("simulated traces always capture"),
+            );
             t0 = trace.ground_truth.session_end + Duration::from_secs(90);
             traces.push(trace);
         }
@@ -211,8 +219,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("corrupt.jsonl");
         std::fs::write(&path, "{\"not\": \"a trace\"}\n").unwrap();
-        let res: std::io::Result<Vec<SessionTrace>> = read_jsonl(&path);
-        assert!(res.is_err());
+        let res: Result<Vec<SessionTrace>, _> = read_jsonl(&path);
+        assert!(matches!(
+            res,
+            Err(crate::error::TelemetryError::Parse { line: 1, .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,98 @@
+//! The crate-wide error type.
+//!
+//! Telemetry sits on the untrusted edge of the pipeline: it parses
+//! weblog datasets from disk and renders traces produced elsewhere.
+//! Those paths fail by returning [`TelemetryError`] instead of
+//! panicking, so a corrupt dataset line or a malformed trace surfaces
+//! as a diagnosable error in the operator CLI rather than a crash.
+
+use std::fmt;
+
+/// Errors raised by telemetry capture, persistence and parsing.
+#[derive(Debug)]
+pub enum TelemetryError {
+    /// An underlying filesystem read or write failed.
+    Io(std::io::Error),
+    /// An item could not be serialized while writing a JSONL dataset.
+    Serialize {
+        /// Zero-based index of the offending item in the written slice.
+        index: usize,
+        /// The serializer's diagnosis.
+        source: serde_json::Error,
+    },
+    /// A line of a JSONL dataset failed to parse.
+    Parse {
+        /// One-based line number within the file.
+        line: usize,
+        /// The parser's diagnosis.
+        source: serde_json::Error,
+    },
+    /// A video chunk reached capture without its itag annotation.
+    ///
+    /// The player guarantees every video chunk carries an itag; hitting
+    /// this on a deserialized trace means the trace file was corrupt or
+    /// hand-edited.
+    MissingItag {
+        /// Session the malformed chunk belongs to.
+        session_id: String,
+        /// Sequence number of the malformed chunk.
+        chunk_index: u64,
+    },
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::Io(e) => write!(f, "i/o error: {e}"),
+            TelemetryError::Serialize { index, source } => {
+                write!(f, "failed to serialize item {index}: {source}")
+            }
+            TelemetryError::Parse { line, source } => {
+                write!(f, "line {line}: {source}")
+            }
+            TelemetryError::MissingItag {
+                session_id,
+                chunk_index,
+            } => write!(
+                f,
+                "video chunk {chunk_index} of session {session_id} carries no itag"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TelemetryError::Io(e) => Some(e),
+            TelemetryError::Serialize { source, .. } | TelemetryError::Parse { source, .. } => {
+                Some(source)
+            }
+            TelemetryError::MissingItag { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TelemetryError {
+    fn from(e: std::io::Error) -> Self {
+        TelemetryError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_site() {
+        let e = TelemetryError::MissingItag {
+            session_id: "abc".into(),
+            chunk_index: 7,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("abc") && msg.contains('7'), "{msg}");
+
+        let e = TelemetryError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+    }
+}

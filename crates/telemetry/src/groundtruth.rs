@@ -156,9 +156,11 @@ pub fn extract_sessions(entries: &[WeblogEntry]) -> Vec<ExtractedSession> {
 
     let mut out: Vec<ExtractedSession> = Vec::with_capacity(order.len());
     for id in order {
-        let mut s = sessions.remove(&id).expect("inserted above");
-        s.chunks.sort_by_key(|c| (c.timestamp, c.sq));
-        out.push(s);
+        // Every id in `order` was inserted into `sessions` alongside it.
+        if let Some(mut s) = sessions.remove(&id) {
+            s.chunks.sort_by_key(|c| (c.timestamp, c.sq));
+            out.push(s);
+        }
     }
     out
 }
@@ -193,7 +195,8 @@ mod tests {
                 subscriber_id: 9,
             },
             &mut rng,
-        );
+        )
+        .expect("simulated traces always capture");
         (trace, entries)
     }
 
@@ -291,7 +294,8 @@ mod tests {
                 subscriber_id: 9,
             },
             &mut rng,
-        );
+        )
+        .expect("simulated traces always capture");
         assert!(extract_sessions(&entries).is_empty());
     }
 }

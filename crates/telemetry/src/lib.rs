@@ -37,14 +37,18 @@
 
 pub mod capture;
 pub mod dataset;
+pub mod error;
 pub mod groundtruth;
 pub mod reassembly;
 pub mod uri;
 pub mod weblog;
 
 pub use capture::{capture_session, CaptureConfig};
-pub use groundtruth::{extract_sessions, ExtractedChunk, ExtractedSession};
 pub use dataset::{join_sessions, read_jsonl, write_jsonl, JoinedSession};
-pub use reassembly::{reassemble_subscriber, ReassembledSession, ReassemblyConfig, StreamReassembler};
+pub use error::TelemetryError;
+pub use groundtruth::{extract_sessions, ExtractedChunk, ExtractedSession};
+pub use reassembly::{
+    reassemble_subscriber, ReassembledSession, ReassemblyConfig, StreamReassembler,
+};
 pub use uri::{PlaybackReport, VideoPlaybackParams};
 pub use weblog::{EntryKind, WeblogEntry};

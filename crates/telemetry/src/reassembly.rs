@@ -143,37 +143,28 @@ impl StreamReassembler {
     }
 
     fn take_session(&mut self) -> Option<ReassembledSession> {
-        let chunks: Vec<WeblogEntry> = self
-            .current
+        let batch = std::mem::take(&mut self.current);
+        let start = batch.first()?.timestamp;
+        let chunks: Vec<WeblogEntry> = batch
             .iter()
             .filter(|e| e.is_media_host())
             .cloned()
             .collect();
-        let result = if chunks.len() >= self.config.min_chunks {
-            let start = self.current.first().expect("non-empty").timestamp;
-            let end = self
-                .current
-                .iter()
-                .map(|e| e.arrival_time())
-                .max()
-                .expect("non-empty");
-            let other: Vec<WeblogEntry> = self
-                .current
-                .iter()
-                .filter(|e| !e.is_media_host())
-                .cloned()
-                .collect();
-            Some(ReassembledSession {
-                start,
-                end,
-                chunks,
-                other,
-            })
-        } else {
-            None
-        };
-        self.current.clear();
-        result
+        if chunks.len() < self.config.min_chunks {
+            return None;
+        }
+        let end = batch.iter().map(|e| e.arrival_time()).max()?;
+        let other: Vec<WeblogEntry> = batch
+            .iter()
+            .filter(|e| !e.is_media_host())
+            .cloned()
+            .collect();
+        Some(ReassembledSession {
+            start,
+            end,
+            chunks,
+            other,
+        })
     }
 }
 
@@ -230,14 +221,17 @@ mod tests {
                 },
                 &seeds,
             );
-            entries.extend(capture_session(
-                &trace,
-                &CaptureConfig {
-                    encrypted: true,
-                    subscriber_id: 7,
-                },
-                &mut rng,
-            ));
+            entries.extend(
+                capture_session(
+                    &trace,
+                    &CaptureConfig {
+                        encrypted: true,
+                        subscriber_id: 7,
+                    },
+                    &mut rng,
+                )
+                .expect("simulated traces always capture"),
+            );
             t0 = trace.ground_truth.session_end + Duration::from_secs(gap_secs);
             traces.push(trace);
         }
@@ -281,8 +275,10 @@ mod tests {
     fn tiny_fragments_are_discarded() {
         // Three lone media chunks below min_chunks=5 must be dropped.
         let (_, entries) = subscriber_stream(1, 60);
-        let mut cfg = ReassemblyConfig::default();
-        cfg.min_chunks = 100_000; // absurd threshold: nothing survives
+        let cfg = ReassemblyConfig {
+            min_chunks: 100_000, // absurd threshold: nothing survives
+            ..ReassemblyConfig::default()
+        };
         assert!(reassemble_subscriber(&entries, &cfg).is_empty());
     }
 

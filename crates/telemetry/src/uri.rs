@@ -177,7 +177,9 @@ mod tests {
         assert_eq!(parse_videoplayback("/watch?v=abc"), None);
         assert_eq!(parse_videoplayback("/videoplayback?itag=134"), None);
         assert_eq!(
-            parse_videoplayback("/videoplayback?cpn=short&itag=1&mime=video%2Fmp4&clen=1&dur=1.0&sq=0"),
+            parse_videoplayback(
+                "/videoplayback?cpn=short&itag=1&mime=video%2Fmp4&clen=1&dur=1.0&sq=0"
+            ),
             None,
             "session IDs must be 16 chars"
         );
@@ -185,7 +187,8 @@ mod tests {
 
     #[test]
     fn malformed_numbers_are_rejected() {
-        let uri = "/videoplayback?cpn=AbCdEfGhIjKlMnOp&itag=xx&mime=video%2Fmp4&clen=1&dur=1.0&sq=0";
+        let uri =
+            "/videoplayback?cpn=AbCdEfGhIjKlMnOp&itag=xx&mime=video%2Fmp4&clen=1&dur=1.0&sq=0";
         assert_eq!(parse_videoplayback(uri), None);
     }
 

@@ -19,14 +19,21 @@ fn main() {
         ..DatasetSpec::encrypted_default(1234)
     };
     let traces = generate_sequential_traces(&spec, 180.0);
-    println!("step 0: handset ran {} sequential video sessions", traces.len());
+    println!(
+        "step 0: handset ran {} sequential video sessions",
+        traces.len()
+    );
     for (i, t) in traces.iter().enumerate() {
         println!(
             "  session {i}: {} chunks, {} stalls, avg {}p, {}",
             t.chunks.len(),
             t.ground_truth.stall_count(),
             t.ground_truth.avg_resolution() as u32,
-            if t.ground_truth.abandoned { "abandoned" } else { "completed" },
+            if t.ground_truth.abandoned {
+                "abandoned"
+            } else {
+                "completed"
+            },
         );
     }
 
@@ -34,19 +41,28 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let mut entries = Vec::new();
     for t in &traces {
-        entries.extend(capture_session(
-            t,
-            &CaptureConfig {
-                encrypted: true,
-                subscriber_id: 1,
-            },
-            &mut rng,
-        ));
+        entries.extend(
+            capture_session(
+                t,
+                &CaptureConfig {
+                    encrypted: true,
+                    subscriber_id: 1,
+                },
+                &mut rng,
+            )
+            .expect("simulated traces always capture"),
+        );
     }
     // Background noise from other apps on the same subscriber.
     let first = traces.first().expect("sessions exist").config.start_time;
-    let last = traces.last().expect("sessions exist").ground_truth.session_end;
-    entries.extend(vqoe_telemetry::capture::generate_noise(1, first, last, 60, &mut rng));
+    let last = traces
+        .last()
+        .expect("sessions exist")
+        .ground_truth
+        .session_end;
+    entries.extend(vqoe_telemetry::capture::generate_noise(
+        1, first, last, 60, &mut rng,
+    ));
     entries.sort_by_key(|e| e.timestamp);
     let with_uri = entries.iter().filter(|e| e.uri.is_some()).count();
     println!(
@@ -91,5 +107,8 @@ fn main() {
     for (n, v) in names.iter().zip(values.iter()).take(8) {
         println!("  {n:<36} {v:.4}");
     }
-    println!("  ... ({} features total; ready for the trained models)", values.len());
+    println!(
+        "  ... ({} features total; ready for the trained models)",
+        values.len()
+    );
 }

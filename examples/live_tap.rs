@@ -24,7 +24,7 @@ fn main() {
     for (subscriber, seed) in [(101u64, 21u64), (202, 22)] {
         let mut config = EncryptedEvalConfig::paper_default(seed);
         config.spec.n_sessions = 4;
-        let mut world = EncryptedWorld::build(&config);
+        let mut world = EncryptedWorld::build(&config).expect("simulated world builds");
         for e in &mut world.entries {
             e.subscriber_id = subscriber;
         }

@@ -21,7 +21,7 @@ fn main() {
     println!("building the encrypted evaluation world (722 sessions) ...\n");
     let mut config = EncryptedEvalConfig::paper_default(99);
     config.spec.n_sessions = 120; // trim for example runtime
-    let world = EncryptedWorld::build(&config);
+    let world = EncryptedWorld::build(&config).expect("simulated world builds");
     println!(
         "reassembly recovered {}/{} sessions ({:.1}%)\n",
         world.sessions.len(),
@@ -60,15 +60,25 @@ fn main() {
                 a.chunk_count,
                 format!("{:?}", a.stall),
                 format!("{:?}", true_stall),
-                if a.representation == true_rq { "yes" } else { "NO" },
+                if a.representation == true_rq {
+                    "yes"
+                } else {
+                    "NO"
+                },
                 if a.has_quality_switches { "yes" } else { "-" },
             );
         }
     }
     let n = world.joined.len() as f64;
     println!("\n--- aggregate over {} sessions ---", world.joined.len());
-    println!("stall severity accuracy:          {:.1}%", stall_ok as f64 / n * 100.0);
-    println!("average representation accuracy:  {:.1}%", rq_ok as f64 / n * 100.0);
+    println!(
+        "stall severity accuracy:          {:.1}%",
+        stall_ok as f64 / n * 100.0
+    );
+    println!(
+        "average representation accuracy:  {:.1}%",
+        rq_ok as f64 / n * 100.0
+    );
     println!(
         "sessions flagged for switching:   {:.1}%",
         flagged as f64 / n * 100.0

@@ -32,7 +32,7 @@ fn main() {
     //    timings, sizes and TCP statistics are visible — no URIs.
     let mut world_config = EncryptedEvalConfig::paper_default(7);
     world_config.spec.n_sessions = 10;
-    let world = EncryptedWorld::build(&world_config);
+    let world = EncryptedWorld::build(&world_config).expect("simulated world builds");
     println!(
         "captured {} encrypted weblog entries from one subscriber\n",
         world.entries.len()

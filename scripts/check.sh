@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, clippy (warnings promoted to
+# errors), the workspace's own static-analysis passes, and the test
+# suite. CI and pre-merge runs should call exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> vqoe-analyze (determinism / panic-path / constants / hygiene)"
+cargo run -q -p vqoe-analyze
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "all gates passed"

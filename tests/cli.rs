@@ -46,7 +46,14 @@ fn full_pipeline_runs_and_produces_consistent_files() {
     run(
         &dir,
         &[
-            "generate", "--kind", "encrypted", "--sessions", "5", "--seed", "11", "--out",
+            "generate",
+            "--kind",
+            "encrypted",
+            "--sessions",
+            "5",
+            "--seed",
+            "11",
+            "--out",
             "traces.jsonl",
         ],
     );
@@ -54,7 +61,13 @@ fn full_pipeline_runs_and_produces_consistent_files() {
     run(
         &dir,
         &[
-            "capture", "--traces", "traces.jsonl", "--encrypted", "--subscriber", "1", "--out",
+            "capture",
+            "--traces",
+            "traces.jsonl",
+            "--encrypted",
+            "--subscriber",
+            "1",
+            "--out",
             "weblogs.jsonl",
         ],
     );
@@ -64,7 +77,14 @@ fn full_pipeline_runs_and_produces_consistent_files() {
     run(
         &dir,
         &[
-            "train", "--cleartext", "300", "--adaptive", "150", "--seed", "3", "--out",
+            "train",
+            "--cleartext",
+            "300",
+            "--adaptive",
+            "150",
+            "--seed",
+            "3",
+            "--out",
             "model.json",
         ],
     );
@@ -72,13 +92,18 @@ fn full_pipeline_runs_and_produces_consistent_files() {
     let log = run(
         &dir,
         &[
-            "assess", "--model", "model.json", "--weblogs", "weblogs.jsonl", "--out",
+            "assess",
+            "--model",
+            "model.json",
+            "--weblogs",
+            "weblogs.jsonl",
+            "--out",
             "assessments.jsonl",
         ],
     );
     assert!(log.contains("assessed"), "log: {log}");
     let n = line_count(&dir.join("assessments.jsonl"));
-    assert!(n >= 4 && n <= 6, "expected ~5 assessments, got {n}");
+    assert!((4..=6).contains(&n), "expected ~5 assessments, got {n}");
 
     // every assessment line parses and carries a MOS on the 1–5 scale
     let content = std::fs::read_to_string(dir.join("assessments.jsonl")).unwrap();
@@ -96,17 +121,36 @@ fn cleartext_ground_truth_extraction_via_cli() {
     run(
         &dir,
         &[
-            "generate", "--kind", "cleartext", "--sessions", "15", "--seed", "12", "--out",
+            "generate",
+            "--kind",
+            "cleartext",
+            "--sessions",
+            "15",
+            "--seed",
+            "12",
+            "--out",
             "traces.jsonl",
         ],
     );
     run(
         &dir,
-        &["capture", "--traces", "traces.jsonl", "--out", "weblogs.jsonl"],
+        &[
+            "capture",
+            "--traces",
+            "traces.jsonl",
+            "--out",
+            "weblogs.jsonl",
+        ],
     );
     run(
         &dir,
-        &["extract-gt", "--weblogs", "weblogs.jsonl", "--out", "gt.jsonl"],
+        &[
+            "extract-gt",
+            "--weblogs",
+            "weblogs.jsonl",
+            "--out",
+            "gt.jsonl",
+        ],
     );
     assert_eq!(line_count(&dir.join("gt.jsonl")), 15);
     // Each extracted session carries a 16-char session id.

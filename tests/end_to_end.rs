@@ -16,7 +16,7 @@ fn small_training() -> TrainingConfig {
 fn small_world(n: usize, seed: u64) -> EncryptedWorld {
     let mut config = EncryptedEvalConfig::paper_default(seed);
     config.spec.n_sessions = n;
-    EncryptedWorld::build(&config)
+    EncryptedWorld::build(&config).expect("simulated world builds")
 }
 
 #[test]
@@ -99,13 +99,18 @@ fn severe_sessions_are_rarely_called_healthy() {
         severe_total += 1;
         let obs = SessionObs::from_reassembled(&world.sessions[j.reassembled_idx]);
         let session = &world.sessions[j.reassembled_idx];
-        if monitor.assess_session(&obs, session.start, session.end).stall
+        if monitor
+            .assess_session(&obs, session.start, session.end)
+            .stall
             == StallClass::NoStalls
         {
             severe_called_healthy += 1;
         }
     }
-    assert!(severe_total >= 10, "not enough severe sessions: {severe_total}");
+    assert!(
+        severe_total >= 10,
+        "not enough severe sessions: {severe_total}"
+    );
     assert!(
         (severe_called_healthy as f64) < severe_total as f64 * 0.25,
         "{severe_called_healthy}/{severe_total} severe sessions called healthy"

@@ -26,14 +26,17 @@ fn subscriber_entries(
     let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
     let mut entries = Vec::new();
     for t in &traces {
-        entries.extend(capture_session(
-            t,
-            &CaptureConfig {
-                encrypted: true,
-                subscriber_id: 3,
-            },
-            &mut rng,
-        ));
+        entries.extend(
+            capture_session(
+                t,
+                &CaptureConfig {
+                    encrypted: true,
+                    subscriber_id: 3,
+                },
+                &mut rng,
+            )
+            .expect("simulated traces always capture"),
+        );
     }
     let first = traces.first().expect("sessions").config.start_time;
     let last = traces.last().expect("sessions").ground_truth.session_end;

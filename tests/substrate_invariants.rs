@@ -4,7 +4,9 @@
 //! The detectors' correctness arguments all lean on these.
 
 use proptest::prelude::*;
-use vqoe_player::{simulate_session, AbrKind, ContentType, Delivery, SessionConfig, StreamingProfile};
+use vqoe_player::{
+    simulate_session, AbrKind, ContentType, Delivery, SessionConfig, StreamingProfile,
+};
 use vqoe_simnet::channel::Scenario;
 use vqoe_simnet::rng::SeedSequence;
 use vqoe_simnet::time::Instant;

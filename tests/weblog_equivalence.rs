@@ -14,7 +14,7 @@ use vqoe_telemetry::extract_sessions;
 #[test]
 fn every_session_is_recovered_with_its_label() {
     let traces = generate_traces(&DatasetSpec::cleartext_default(120, 3001));
-    let entries = capture_cleartext_corpus(&traces, 1);
+    let entries = capture_cleartext_corpus(&traces, 1).expect("capture");
     let sessions = sessions_from_weblogs(&entries);
     assert_eq!(sessions.len(), traces.len());
     for s in &sessions {
@@ -40,7 +40,7 @@ fn every_session_is_recovered_with_its_label() {
 #[test]
 fn weblog_datasets_have_identical_class_structure() {
     let traces = generate_traces(&DatasetSpec::cleartext_default(100, 3002));
-    let entries = capture_cleartext_corpus(&traces, 2);
+    let entries = capture_cleartext_corpus(&traces, 2).expect("capture");
 
     let stall_w = stall_dataset_from_weblogs(&entries);
     let stall_t = vqoe_features::build_stall_dataset(&traces);
@@ -60,7 +60,7 @@ fn feature_rows_match_between_paths() {
     // because the weblog path reads transport annotations off the same
     // proxy records the direct path summarizes.
     let traces = generate_traces(&DatasetSpec::cleartext_default(40, 3003));
-    let entries = capture_cleartext_corpus(&traces, 3);
+    let entries = capture_cleartext_corpus(&traces, 3).expect("capture");
     let sessions = sessions_from_weblogs(&entries);
     for s in &sessions {
         let t = traces
@@ -82,7 +82,7 @@ fn feature_rows_match_between_paths() {
 #[test]
 fn extraction_orders_chunks_by_time() {
     let traces = generate_traces(&DatasetSpec::cleartext_default(30, 3004));
-    let entries = capture_cleartext_corpus(&traces, 4);
+    let entries = capture_cleartext_corpus(&traces, 4).expect("capture");
     for s in extract_sessions(&entries) {
         for w in s.chunks.windows(2) {
             assert!(w[0].timestamp <= w[1].timestamp);

@@ -1,0 +1,83 @@
+//! Offline, std-only stand-in for the single `crossbeam` API this
+//! workspace uses: `crossbeam::thread::scope`, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Differences from the real crate are deliberate simplifications: the
+//! closure handed to `Scope::spawn` receives a placeholder `&Nested`
+//! token rather than a live scope (the workspace never spawns from
+//! inside a worker), and panics in workers surface as the `Err` arm of
+//! the returned `thread::Result` just like crossbeam's.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread support, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Result alias matching `crossbeam::thread::scope`'s return type.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Placeholder passed to spawned closures in place of a nested scope.
+    ///
+    /// The real crossbeam hands workers a scope they can spawn from; this
+    /// workspace's workers ignore the argument (`|_| …`), so a unit token
+    /// keeps the call sites source-compatible without unsafe lifetime
+    /// juggling.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Nested;
+
+    /// Borrow-friendly handle used to spawn workers inside [`scope`].
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker thread joined automatically at scope exit.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Nested) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&Nested))
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned workers are joined before
+    /// this returns. A panic in any worker yields `Err`, mirroring
+    /// crossbeam's contract rather than std's propagating one.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_workers() {
+        let hits = AtomicUsize::new(0);
+        let out = super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            42
+        })
+        .expect("no worker panicked");
+        assert_eq!(out, 42);
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

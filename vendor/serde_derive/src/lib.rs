@@ -1,0 +1,458 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stub,
+//! written against `proc_macro` alone (no syn/quote — the build
+//! container has no crates.io access).
+//!
+//! The macros target the stub's value-tree model: a derived `Serialize`
+//! renders the type into `serde::Value` and a derived `Deserialize`
+//! rebuilds it, using serde's externally-tagged representation for enums
+//! (unit variant -> `"Name"`, payload variant -> `{"Name": payload}`).
+//! Supported shapes are exactly what the workspace defines: non-generic
+//! structs with named fields and non-generic enums with unit, tuple, or
+//! struct variants. Anything fancier fails loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Item {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(T, ...);` — newtypes serialize transparently,
+    /// wider tuples as arrays, matching serde.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { Variant, ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant and its payload shape.
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (value-tree parsing).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde stub derive emitted unparseable code"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error emission failed"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Drop a leading attribute (`#[...]`) or visibility (`pub`, `pub(...)`)
+/// from the token cursor, returning whether anything was consumed.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // attribute: '#' then a bracketed group
+                *pos += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde stub derive: expected struct/enum, got {other:?}"
+            ))
+        }
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde stub derive: expected type name, got {other:?}"
+            ))
+        }
+    };
+    pos += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive: generic type `{name}` is unsupported; \
+                 derive on concrete types only"
+            ));
+        }
+    }
+
+    match (kind.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Struct {
+                name,
+                fields: parse_field_names(g.stream())?,
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::TupleStruct {
+                name,
+                arity: split_top_commas(g.stream()).len(),
+            })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
+        }
+        _ => Err(format!(
+            "serde stub derive: `{name}` has an unsupported shape \
+             (unit structs / unions are not handled)"
+        )),
+    }
+}
+
+/// Split a brace/paren body on top-level commas (angle-bracket aware, so
+/// `BTreeMap<String, f64>` stays one chunk).
+fn split_top_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().expect("chunks never empty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Field names of a named-field body: `attrs vis NAME : Type`.
+fn parse_field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    split_top_commas(body)
+        .into_iter()
+        .map(|chunk| {
+            let mut pos = 0;
+            skip_attrs_and_vis(&chunk, &mut pos);
+            match chunk.get(pos) {
+                Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+                other => Err(format!(
+                    "serde stub derive: expected field name, got {other:?}"
+                )),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_commas(body)
+        .into_iter()
+        .map(|chunk| {
+            let mut pos = 0;
+            skip_attrs_and_vis(&chunk, &mut pos);
+            let name = match chunk.get(pos) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => {
+                    return Err(format!(
+                        "serde stub derive: expected variant name, got {other:?}"
+                    ))
+                }
+            };
+            pos += 1;
+            let shape = match chunk.get(pos) {
+                None => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(split_top_commas(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Struct(parse_field_names(g.stream())?)
+                }
+                other => {
+                    return Err(format!(
+                        "serde stub derive: unsupported variant syntax after \
+                         `{name}`: {other:?}"
+                    ))
+                }
+            };
+            Ok(Variant { name, shape })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec::Vec::from([{entries}]))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec::Vec::from([{items}]))")
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn serialize_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => {
+            format!("{ty}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),")
+        }
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(f0)".to_string()
+            } else {
+                let items: String = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec::Vec::from([{items}]))")
+            };
+            format!(
+                "{ty}::{vn}({}) => ::serde::Value::Map(::std::vec::Vec::from([\
+                     (::std::string::String::from({vn:?}), {payload}),\
+                 ])),",
+                binds.join(", "),
+            )
+        }
+        Shape::Struct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value({f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec::Vec::from([\
+                     (::std::string::String::from({vn:?}), \
+                      ::serde::Value::Map(::std::vec::Vec::from([{entries}]))),\
+                 ])),",
+                fields.join(", "),
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.get({f:?})\
+                             .ok_or_else(|| ::serde::DeError::missing_field({name:?}, {f:?}))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Map(_) => ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::DeError::mismatch(\"object\", other)),\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+                )
+            } else {
+                let inits: String = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                    .collect();
+                format!(
+                    "{{\n\
+                         let items = value.as_array().ok_or_else(|| \
+                             ::serde::DeError::mismatch(\"array\", value))?;\n\
+                         if items.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"expected {arity} elements for `{name}`, found {{}}\", \
+                                         items.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({inits}))\n\
+                     }}"
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .map(|v| deserialize_payload_arm(name, v))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {payload_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::DeError::mismatch(\"externally tagged enum\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::TupleStruct { name, .. } | Item::Enum { name, .. } => {
+            name
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_payload_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => unreachable!("unit variants handled in the string arm"),
+        Shape::Tuple(1) => format!(
+            "{vn:?} => ::std::result::Result::Ok(\
+                 {ty}::{vn}(::serde::Deserialize::from_value(payload)?)),",
+        ),
+        Shape::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "{vn:?} => {{\n\
+                     let items = payload.as_array().ok_or_else(|| \
+                         ::serde::DeError::mismatch(\"array\", payload))?;\n\
+                     if items.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"expected {n} fields for `{ty}::{vn}`, found {{}}\", \
+                                     items.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({ty}::{vn}({items}))\n\
+                 }}",
+            )
+        }
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(payload.get({f:?})\
+                             .ok_or_else(|| ::serde::DeError::missing_field({ty:?}, {f:?}))?)?,"
+                    )
+                })
+                .collect();
+            format!("{vn:?} => ::std::result::Result::Ok({ty}::{vn} {{ {inits} }}),")
+        }
+    }
+}
