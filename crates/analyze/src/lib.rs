@@ -7,7 +7,7 @@
 //! the pipeline targets operator deployment, so library code must never
 //! panic on hostile input.
 //!
-//! Four passes, each a module:
+//! Five passes, each a module:
 //!
 //! 1. [`determinism`] — no `thread_rng`, no wall-clock reads, no
 //!    `HashMap` iteration in the deterministic crates;
@@ -16,7 +16,10 @@
 //! 3. [`constants`] — the paper's headline numbers (70 / 210 features,
 //!    RR 0.1, CUSUM 500, class names) agree everywhere they are stated;
 //! 4. [`hygiene`] — every member crate opts into the workspace lint
-//!    policy, inherits workspace dependencies, and documents itself.
+//!    policy, inherits workspace dependencies, and documents itself;
+//! 5. [`bounded`] — every struct-field session table (`BTreeMap` /
+//!    `HashMap`) in the deterministic crates evicts somewhere, so a
+//!    hostile tap cannot grow resident state without bound.
 //!
 //! Violations carry `file:line`, a rule id, and a message; the binary
 //! exits nonzero when any are found. A `// analyze:allow(<rule>)`
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounded;
 pub mod constants;
 pub mod determinism;
 pub mod hygiene;
@@ -92,7 +96,7 @@ impl Finding {
     }
 }
 
-/// Run all four passes over the workspace at `root` and return the
+/// Run all five passes over the workspace at `root` and return the
 /// findings sorted by `(file, line, rule)`.
 pub fn run_all(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -100,6 +104,7 @@ pub fn run_all(root: &Path) -> Vec<Finding> {
     findings.extend(panics::check(root));
     findings.extend(constants::check(root));
     findings.extend(hygiene::check(root));
+    findings.extend(bounded::check(root));
     findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
     findings
 }

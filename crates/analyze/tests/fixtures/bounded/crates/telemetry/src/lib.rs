@@ -1,0 +1,36 @@
+// Bounded-collections fixture: three persistent session tables, one
+// violation. `open` grows forever (the seeded `unbounded-map` finding);
+// `recent` is retained down; `delegated` is allow-marked.
+
+use std::collections::BTreeMap;
+
+pub struct SessionTable {
+    open: BTreeMap<u64, u32>,
+    recent: BTreeMap<u64, u32>,
+    // analyze:allow(unbounded-map)
+    delegated: BTreeMap<u64, u32>,
+}
+
+impl SessionTable {
+    pub fn push(&mut self, id: u64) {
+        self.open.insert(id, 0);
+        self.recent.insert(id, 0);
+        self.recent.retain(|_, v| *v > 0);
+        self.delegated.insert(id, 0);
+    }
+}
+
+pub fn scratch(ids: &[u64]) {
+    // Local maps die with the frame: out of scope for the rule.
+    let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
+    for id in ids {
+        *counts.entry(*id).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub struct Fixture {
+        pub seen: std::collections::BTreeMap<u64, u32>,
+    }
+}

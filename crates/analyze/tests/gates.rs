@@ -5,7 +5,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use vqoe_analyze::{constants, determinism, hygiene, panics, run_all, Finding};
+use vqoe_analyze::{bounded, constants, determinism, hygiene, panics, run_all, Finding};
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -74,6 +74,17 @@ fn hygiene_fixture_reports_manifest_and_lib_violations() {
         .collect();
     assert_eq!(dep.len(), 1, "{dep:?}");
     assert!(dep[0].message.contains("rand"));
+}
+
+#[test]
+fn bounded_fixture_flags_only_the_evictionless_table() {
+    let findings = bounded::check(&fixture("bounded"));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "unbounded-map");
+    assert!(findings[0].file.ends_with("crates/telemetry/src/lib.rs"));
+    assert!(findings[0].message.contains("`open`"));
+    // `recent` (retained), `delegated` (allow-marked), the local `let`
+    // map, and the #[cfg(test)] field all stayed silent.
 }
 
 #[test]

@@ -8,14 +8,14 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use vqoe_changedet::detector::{session_score, SwitchScoreConfig};
-use vqoe_core::{generate_traces, DatasetSpec};
+use vqoe_core::{generate_traces, DatasetSpec, OnlineAssessor, QoeMonitor, TrainingConfig};
 use vqoe_features::{representation_features, stall_features, SessionObs};
 use vqoe_ml::{cross_validate, ForestConfig, RandomForest};
 use vqoe_player::{simulate_session, AbrKind, Delivery, SessionConfig};
 use vqoe_simnet::channel::Scenario;
 use vqoe_simnet::rng::SeedSequence;
 use vqoe_simnet::time::Instant;
-use vqoe_telemetry::{reassemble_subscriber, ReassemblyConfig};
+use vqoe_telemetry::{apply_chaos, reassemble_subscriber, ChaosConfig, ReassemblyConfig};
 
 fn bench_simulation(c: &mut Criterion) {
     let seeds = SeedSequence::new(42);
@@ -137,11 +137,65 @@ fn bench_telemetry(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_online_ingest(c: &mut Criterion) {
+    // One subscriber's day of encrypted traffic, streamed through the
+    // hardened online assessor: the entries/sec baseline for later perf
+    // work, clean vs. a 10 % composite fault rate.
+    let spec = DatasetSpec {
+        n_sessions: 20,
+        ..DatasetSpec::encrypted_default(78)
+    };
+    let traces = vqoe_core::generate_sequential_traces(&spec, 120.0);
+    let mut rng = rand::SeedableRng::seed_from_u64(6);
+    let mut entries = Vec::new();
+    for t in &traces {
+        entries.extend(
+            vqoe_telemetry::capture_session(
+                t,
+                &vqoe_telemetry::CaptureConfig {
+                    encrypted: true,
+                    subscriber_id: 1,
+                },
+                &mut rng,
+            )
+            .expect("simulated traces always capture"),
+        );
+    }
+    entries.sort_by_key(|e| e.timestamp);
+    let (faulted, _) = apply_chaos(&entries, &ChaosConfig::uniform(0.1), 40);
+    let monitor = QoeMonitor::train(&TrainingConfig {
+        cleartext_sessions: 250,
+        adaptive_sessions: 150,
+        seed: 17,
+        ..TrainingConfig::default()
+    });
+
+    let mut group = c.benchmark_group("online_ingest");
+    group.sample_size(10);
+    for (name, stream) in [("clean_stream", &entries), ("fault_10pct", &faulted)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || (OnlineAssessor::new(monitor.clone()), stream.clone()),
+                |(mut online, stream)| {
+                    let mut assessed = 0usize;
+                    for e in &stream {
+                        assessed += online.ingest(e).len();
+                    }
+                    assessed + online.finish().len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_simulation,
     bench_features,
     bench_ml,
-    bench_telemetry
+    bench_telemetry,
+    bench_online_ingest
 );
 criterion_main!(benches);

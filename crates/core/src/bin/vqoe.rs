@@ -24,11 +24,13 @@ use std::path::{Path, PathBuf};
 
 use rand::SeedableRng;
 use vqoe_core::{
-    generate_sequential_traces, generate_traces, DatasetSpec, QoeMonitor, TrainingConfig,
+    generate_sequential_traces, generate_traces, DatasetSpec, OnlineAssessor, QoeMonitor,
+    TrainingConfig,
 };
 use vqoe_player::SessionTrace;
 use vqoe_telemetry::{
-    capture_session, extract_sessions, read_jsonl, write_jsonl, CaptureConfig, WeblogEntry,
+    apply_chaos, capture_session, extract_sessions, read_jsonl, write_jsonl, CaptureConfig,
+    ChaosConfig, IngestConfig, WeblogEntry,
 };
 
 fn main() {
@@ -202,28 +204,75 @@ fn assess(flags: &Flags) {
     let model_path = flags.path("model");
     let weblogs = flags.path("weblogs");
     let out = flags.path("out");
+    let chaos = flags.num("chaos", 0.0f64);
+    let chaos_seed = flags.num("chaos-seed", 2016u64);
     let json = std::fs::read_to_string(&model_path).unwrap_or_else(die(&model_path));
     let monitor = QoeMonitor::from_json(&json).unwrap_or_else(fail("parse model JSON"));
-    let entries: Vec<WeblogEntry> = read_jsonl(&weblogs).unwrap_or_else(die(&weblogs));
+    let mut entries: Vec<WeblogEntry> = read_jsonl(&weblogs).unwrap_or_else(die(&weblogs));
+    // Tap arrival order: all subscribers interleaved by timestamp, as
+    // the operator's proxy would deliver them.
+    entries.sort_by_key(|e| e.timestamp);
+    if chaos > 0.0 {
+        let (faulted, stats) = apply_chaos(&entries, &ChaosConfig::uniform(chaos), chaos_seed);
+        eprintln!(
+            "chaos tap at intensity {chaos}: {} -> {} entries \
+             ({} dropped, {} duplicated, {} reordered, {} corrupted, {} streams cut)",
+            stats.consumed,
+            stats.emitted,
+            stats.dropped,
+            stats.duplicated,
+            stats.reordered,
+            stats.corrupted,
+            stats.streams_cut
+        );
+        entries = faulted;
+    }
 
-    // Assess per subscriber (the reassembly state machine is
-    // per-subscriber by construction).
-    let mut by_subscriber: std::collections::BTreeMap<u64, Vec<WeblogEntry>> = Default::default();
-    for e in entries {
-        by_subscriber.entry(e.subscriber_id).or_default().push(e);
-    }
+    let ingest_cfg = IngestConfig {
+        max_open_subscribers: flags.num("max-subscribers", 65_536usize),
+        ..IngestConfig::default()
+    };
+    let mut online = OnlineAssessor::with_config(monitor, ingest_cfg);
     let mut assessments = Vec::new();
-    for (_, subscriber_entries) in by_subscriber {
-        assessments.extend(monitor.assess_subscriber(&subscriber_entries));
+    for e in &entries {
+        assessments.extend(online.ingest(e));
     }
+    let report = online.into_report();
+    assessments.extend(report.assessments);
+
     write_jsonl(&out, &assessments).unwrap_or_else(die(&out));
     let poor = assessments.iter().filter(|a| a.qoe.is_poor()).count();
+    let partial = assessments.iter().filter(|a| a.partial).count();
+    let h = report.health;
     eprintln!(
-        "assessed {} sessions ({} poor-QoE) -> {}",
+        "assessed {} sessions ({} poor-QoE, {} partial) -> {}",
         assessments.len(),
         poor,
+        partial,
         out.display()
     );
+    eprintln!(
+        "stream health: {} entries seen, {} reordered, {} duplicated, \
+         {} quarantined, {} subscribers evicted, {} partial sessions",
+        h.entries_seen,
+        h.entries_reordered,
+        h.entries_duplicated,
+        h.entries_quarantined,
+        h.sessions_evicted,
+        h.sessions_partial
+    );
+    for a in report.anomalies.kept().iter().take(5) {
+        eprintln!(
+            "  anomaly: subscriber {} at {}us: {:?}",
+            a.subscriber_id,
+            a.timestamp.as_micros(),
+            a.kind
+        );
+    }
+    let total = report.anomalies.total();
+    if total > 5 {
+        eprintln!("  ... {} anomalies total", total);
+    }
 }
 
 fn fail<E: std::fmt::Display, T>(what: &str) -> impl FnOnce(E) -> T + '_ {
@@ -252,7 +301,8 @@ fn usage(err: &str) -> ! {
            capture    --traces FILE [--encrypted] [--subscriber ID] [--seed S] --out FILE\n\
            extract-gt --weblogs FILE --out FILE\n\
            train      [--cleartext N] [--adaptive N] [--seed S] --out FILE\n\
-           assess     --model FILE --weblogs FILE --out FILE"
+           assess     --model FILE --weblogs FILE --out FILE\n\
+         \x20          [--chaos RATE] [--chaos-seed S] [--max-subscribers N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -185,6 +185,16 @@ mod tests {
     }
 
     #[test]
+    fn empty_ground_truth_yields_zero_recall_not_a_panic() {
+        // Regression: recall once divided by the ground-truth count
+        // unguarded; an empty world must report 0.0, not NaN or a panic.
+        let world = small_world(0, 44);
+        assert!(world.traces.is_empty());
+        assert_eq!(world.reassembly_recall(), 0.0);
+        assert!(world.reassembly_recall().is_finite());
+    }
+
+    #[test]
     fn reassembly_recovers_the_vast_majority() {
         let world = small_world(30, 41);
         assert!(

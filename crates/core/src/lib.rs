@@ -68,7 +68,7 @@ pub use avgrep_pipeline::{RepresentationModel, RepresentationTrainingReport};
 pub use encrypted::{EncryptedEvalConfig, EncryptedWorld};
 pub use generate::{generate_sequential_traces, generate_traces};
 pub use monitor::{QoeMonitor, SessionAssessment, TrainingConfig};
-pub use online::OnlineAssessor;
+pub use online::{IngestReport, OnlineAssessor};
 pub use qoe_score::QoeScore;
 pub use spec::{DatasetSpec, DeliveryMix, ScenarioMix};
 pub use stall_pipeline::{StallModel, StallTrainingReport};

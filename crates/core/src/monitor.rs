@@ -68,6 +68,9 @@ pub struct SessionAssessment {
     pub switch_score: f64,
     /// Composite 1–5 QoE estimate from the three detections.
     pub qoe: crate::qoe_score::QoeScore,
+    /// True when the session was force-closed (its subscriber was
+    /// evicted under memory pressure), so the tail may be missing.
+    pub partial: bool,
 }
 
 /// The trained QoE monitoring framework: all three detectors plus the
@@ -142,6 +145,7 @@ impl QoeMonitor {
                 representation,
                 has_quality_switches,
             ),
+            partial: false,
         }
     }
 

@@ -1,35 +1,81 @@
-//! Online (streaming) assessment — §8's deployment mode.
+//! Online (streaming) assessment — §8's deployment mode, hardened.
 //!
 //! "The trained models can be then directly applied on the passively
 //! monitored traffic and report issues in real time." [`OnlineAssessor`]
 //! is that loop: weblog entries flow in one at a time (any mix of
-//! subscribers, in timestamp order), sessions are carved out
-//! incrementally by [`StreamReassembler`] state machines, and a
+//! subscribers), sessions are carved out incrementally, and a
 //! [`SessionAssessment`] is emitted the moment a session's boundary is
 //! proven — no batch window, no replays.
+//!
+//! Unlike the lab loop, this one assumes a *hostile* tap. Each
+//! subscriber's stream runs through a
+//! [`RobustReassembler`](vqoe_telemetry::RobustReassembler) (bounded
+//! reordering repair, duplicate suppression, quarantine of malformed
+//! records — see `vqoe_telemetry::ingest`), and the assessor itself
+//! enforces bounded memory: at most
+//! [`IngestConfig::max_open_subscribers`] are tracked, with the
+//! least-recently-active subscriber evicted beyond that. Evicted
+//! streams are force-closed and their qualifying sessions assessed
+//! with [`SessionAssessment::partial`] set. Everything the layer
+//! absorbed is reported through [`StreamHealth`] and the typed
+//! [`AnomalyLog`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
+use serde::{Deserialize, Serialize};
 use vqoe_features::SessionObs;
-use vqoe_telemetry::{ReassembledSession, StreamReassembler, WeblogEntry};
+use vqoe_simnet::time::Instant;
+use vqoe_telemetry::{
+    validate_entry, AnomalyLog, IngestAnomaly, IngestConfig, ReassembledSession, RobustReassembler,
+    StreamHealth, WeblogEntry,
+};
 
 use crate::monitor::{QoeMonitor, SessionAssessment};
+
+/// Everything a closed tap run produced: the assessments plus the
+/// degradation telemetry accumulated along the way.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// All emitted assessments, in emission order.
+    pub assessments: Vec<SessionAssessment>,
+    /// Final health counters.
+    pub health: StreamHealth,
+    /// The quarantine log (bounded, with an exact total).
+    pub anomalies: AnomalyLog,
+}
 
 /// A streaming wrapper over a trained [`QoeMonitor`].
 #[derive(Debug, Clone)]
 pub struct OnlineAssessor {
     monitor: QoeMonitor,
+    ingest_cfg: IngestConfig,
     // BTreeMap, not HashMap: `finish` walks this map, and assessments
     // must come out in a stable (subscriber-id) order run after run.
-    per_subscriber: BTreeMap<u64, StreamReassembler>,
+    // Bounded: `admit` evicts the least-recently-active subscriber
+    // whenever the map would exceed `ingest_cfg.max_open_subscribers`.
+    per_subscriber: BTreeMap<u64, RobustReassembler>,
+    /// Eviction index: (activity watermark, subscriber id), oldest
+    /// first. Mirrors `per_subscriber` exactly.
+    lru: BTreeSet<(Instant, u64)>,
+    health: StreamHealth,
+    anomalies: AnomalyLog,
 }
 
 impl OnlineAssessor {
-    /// Wrap a trained monitor.
+    /// Wrap a trained monitor with default hardening parameters.
     pub fn new(monitor: QoeMonitor) -> Self {
+        OnlineAssessor::with_config(monitor, IngestConfig::default())
+    }
+
+    /// Wrap a trained monitor with explicit hardening parameters.
+    pub fn with_config(monitor: QoeMonitor, ingest_cfg: IngestConfig) -> Self {
         OnlineAssessor {
-            per_subscriber: BTreeMap::new(),
             monitor,
+            anomalies: AnomalyLog::new(ingest_cfg.max_anomalies_kept),
+            ingest_cfg,
+            per_subscriber: BTreeMap::new(),
+            lru: BTreeSet::new(),
+            health: StreamHealth::default(),
         }
     }
 
@@ -38,32 +84,92 @@ impl OnlineAssessor {
         &self.monitor
     }
 
-    /// Ingest one weblog entry. Entries must arrive in timestamp order
-    /// *per subscriber* (the natural property of a live tap). Returns an
-    /// assessment when this entry closes a session of its subscriber.
-    pub fn ingest(&mut self, entry: &WeblogEntry) -> Option<SessionAssessment> {
-        let reassembly = self.monitor.reassembly;
-        let machine = self
-            .per_subscriber
-            .entry(entry.subscriber_id)
-            .or_insert_with(|| StreamReassembler::new(reassembly));
-        machine.push(entry).map(|s| self.assess(&s))
+    /// The hardening parameters in effect.
+    pub fn ingest_config(&self) -> &IngestConfig {
+        &self.ingest_cfg
     }
 
-    /// Close all open sessions (end of tap / end of day) and assess
-    /// whatever qualifies.
+    /// Health counters accumulated so far (monotone).
+    pub fn health(&self) -> StreamHealth {
+        self.health
+    }
+
+    /// The quarantine log accumulated so far.
+    pub fn anomalies(&self) -> &AnomalyLog {
+        &self.anomalies
+    }
+
+    /// Ingest one weblog entry, in tap arrival order. Returns every
+    /// assessment this entry triggered: usually none, one when it
+    /// closes a session, several when it forces an eviction whose
+    /// flushed stream contained complete sessions.
+    pub fn ingest(&mut self, entry: &WeblogEntry) -> Vec<SessionAssessment> {
+        self.health.entries_seen += 1;
+        let mut out = Vec::new();
+        if !self.per_subscriber.contains_key(&entry.subscriber_id) {
+            // Quarantine malformed records and drop non-service noise
+            // *before* a tracking slot is spent on the subscriber.
+            if let Some(kind) = validate_entry(entry, &self.ingest_cfg) {
+                self.health.entries_quarantined += 1;
+                self.anomalies.record(IngestAnomaly {
+                    subscriber_id: entry.subscriber_id,
+                    timestamp: entry.timestamp,
+                    kind,
+                });
+                return out;
+            }
+            if !entry.is_service_host() {
+                return out;
+            }
+            while self.per_subscriber.len() >= self.ingest_cfg.max_open_subscribers.max(1) {
+                let before = self.per_subscriber.len();
+                out.extend(self.evict_oldest());
+                if self.per_subscriber.len() == before {
+                    break;
+                }
+            }
+            self.per_subscriber.insert(
+                entry.subscriber_id,
+                RobustReassembler::new(self.monitor.reassembly, self.ingest_cfg),
+            );
+        }
+        if let Some(machine) = self.per_subscriber.get_mut(&entry.subscriber_id) {
+            let before = machine.watermark();
+            let sessions = machine.push(entry, &mut self.health, &mut self.anomalies);
+            let after = machine.watermark();
+            if before != after {
+                if let Some(w) = before {
+                    self.lru.remove(&(w, entry.subscriber_id));
+                }
+                if let Some(w) = after {
+                    self.lru.insert((w, entry.subscriber_id));
+                }
+            }
+            out.extend(sessions.iter().map(|s| self.assess(s, false)));
+        }
+        out
+    }
+
+    /// Close all open streams gracefully (end of tap / end of day) and
+    /// assess whatever qualifies. For the degradation telemetry as
+    /// well, use [`OnlineAssessor::into_report`].
     pub fn finish(mut self) -> Vec<SessionAssessment> {
-        let machines: Vec<StreamReassembler> = std::mem::take(&mut self.per_subscriber)
-            .into_values()
-            .collect();
-        machines
-            .into_iter()
-            .filter_map(|m| m.finish())
-            .map(|s| self.assess(&s))
-            .collect()
+        self.drain()
     }
 
-    /// Number of subscribers with an open session group.
+    /// Close all open streams and return assessments together with the
+    /// final [`StreamHealth`] and [`AnomalyLog`].
+    pub fn into_report(mut self) -> IngestReport {
+        let assessments = self.drain();
+        IngestReport {
+            assessments,
+            health: self.health,
+            anomalies: self.anomalies,
+        }
+    }
+
+    /// Number of subscribers with an open session group or buffered
+    /// entries. Bounded by [`IngestConfig::max_open_subscribers`].
     pub fn open_subscribers(&self) -> usize {
         self.per_subscriber
             .values()
@@ -71,10 +177,41 @@ impl OnlineAssessor {
             .count()
     }
 
-    fn assess(&self, session: &ReassembledSession) -> SessionAssessment {
+    /// Force-close the least-recently-active subscriber and assess its
+    /// remains as partial sessions.
+    fn evict_oldest(&mut self) -> Vec<SessionAssessment> {
+        let Some(&(w, id)) = self.lru.iter().next() else {
+            return Vec::new();
+        };
+        self.lru.remove(&(w, id));
+        let Some(mut machine) = self.per_subscriber.remove(&id) else {
+            return Vec::new();
+        };
+        self.health.sessions_evicted += 1;
+        let sessions = machine.flush();
+        self.health.sessions_partial += sessions.len() as u64;
+        sessions.iter().map(|s| self.assess(s, true)).collect()
+    }
+
+    fn drain(&mut self) -> Vec<SessionAssessment> {
+        self.lru.clear();
+        let machines: Vec<RobustReassembler> = std::mem::take(&mut self.per_subscriber)
+            .into_values()
+            .collect();
+        machines
+            .into_iter()
+            .flat_map(|m| m.finish())
+            .map(|s| self.assess(&s, false))
+            .collect()
+    }
+
+    fn assess(&self, session: &ReassembledSession, partial: bool) -> SessionAssessment {
         let obs = SessionObs::from_reassembled(session);
-        self.monitor
-            .assess_session(&obs, session.start, session.end)
+        let mut a = self
+            .monitor
+            .assess_session(&obs, session.start, session.end);
+        a.partial = partial;
+        a
     }
 }
 
@@ -83,6 +220,7 @@ mod tests {
     use super::*;
     use crate::encrypted::{EncryptedEvalConfig, EncryptedWorld};
     use crate::monitor::TrainingConfig;
+    use vqoe_simnet::time::Duration;
 
     fn world(n: usize, seed: u64) -> EncryptedWorld {
         let mut config = EncryptedEvalConfig::paper_default(seed);
@@ -109,12 +247,19 @@ mod tests {
         let mut online = OnlineAssessor::new(monitor);
         let mut streamed = Vec::new();
         for e in &world.entries {
-            if let Some(a) = online.ingest(e) {
-                streamed.push(a);
-            }
+            streamed.extend(online.ingest(e));
         }
+        let health = online.health();
+        let quarantined = online.anomalies().total();
         streamed.extend(online.finish());
         assert_eq!(batch, streamed);
+        // The hardening layer must not have touched a clean stream.
+        assert_eq!(health.entries_seen, world.entries.len() as u64);
+        assert_eq!(health.entries_reordered, 0);
+        assert_eq!(health.entries_duplicated, 0);
+        assert_eq!(health.entries_quarantined, 0);
+        assert_eq!(health.sessions_evicted, 0);
+        assert_eq!(quarantined, 0);
     }
 
     #[test]
@@ -124,9 +269,7 @@ mod tests {
         let mut online = OnlineAssessor::new(monitor);
         let mut mid_stream = 0usize;
         for e in &world.entries {
-            if online.ingest(e).is_some() {
-                mid_stream += 1;
-            }
+            mid_stream += online.ingest(e).len();
         }
         let at_finish = online.finish().len();
         // All but the final session close mid-stream (the next session's
@@ -158,9 +301,7 @@ mod tests {
         let mut online = OnlineAssessor::new(monitor);
         let mut total = 0usize;
         for e in &merged {
-            if online.ingest(e).is_some() {
-                total += 1;
-            }
+            total += online.ingest(e).len();
         }
         total += online.finish().len();
         assert_eq!(total, 6, "3 sessions per subscriber");
@@ -178,9 +319,48 @@ mod tests {
             200,
             &mut rng,
         ) {
-            assert!(online.ingest(&e).is_none());
+            assert!(online.ingest(&e).is_empty());
         }
         assert_eq!(online.open_subscribers(), 0);
         assert!(online.finish().is_empty());
+    }
+
+    #[test]
+    fn eviction_enforces_the_cap_and_marks_partial() {
+        let monitor = trained();
+        let w1 = world(2, 76);
+        let mut w2 = world(2, 77);
+        // Subscriber 2 starts long after subscriber 1's stream pauses,
+        // so with a one-slot cap its arrival must evict subscriber 1
+        // while 1's final session is still open.
+        let last = w1
+            .entries
+            .iter()
+            .map(|e| e.timestamp)
+            .max()
+            .expect("world has entries");
+        for e in &mut w2.entries {
+            e.subscriber_id = 2;
+            e.timestamp =
+                last + Duration::from_secs(3600) + e.timestamp.duration_since(Instant::ZERO);
+        }
+        let cfg = IngestConfig {
+            max_open_subscribers: 1,
+            ..IngestConfig::default()
+        };
+        let mut online = OnlineAssessor::with_config(monitor, cfg);
+        let mut all = Vec::new();
+        for e in w1.entries.iter().chain(w2.entries.iter()) {
+            all.extend(online.ingest(e));
+            assert!(online.open_subscribers() <= 1, "cap violated");
+        }
+        let health = online.health();
+        all.extend(online.finish());
+        assert_eq!(health.sessions_evicted, 1, "subscriber 1 evicted once");
+        assert!(health.sessions_partial >= 1);
+        let partials: Vec<_> = all.iter().filter(|a| a.partial).collect();
+        assert_eq!(partials.len() as u64, health.sessions_partial);
+        // Both subscribers' complete sessions still got assessed.
+        assert_eq!(all.len(), 4);
     }
 }

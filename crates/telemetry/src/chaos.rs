@@ -1,0 +1,436 @@
+//! Deterministic fault injection for weblog streams.
+//!
+//! The paper's deployment claim (§8) is that a trained monitor can be
+//! "directly applied on the passively monitored traffic" — but a real
+//! operator tap is hostile: records arrive out of order, duplicated,
+//! truncated or plain corrupt, subscriber identifiers collide, and
+//! capture sessions die mid-stream. [`ChaosTap`] reproduces that
+//! hostility on demand: it wraps any [`WeblogEntry`] iterator and
+//! applies a configurable, *seeded* mix of fault operations, so the
+//! graceful-degradation layer (see [`crate::ingest`]) can be exercised
+//! and regression-tested bit-reproducibly.
+//!
+//! Fault operations, each independently probable per entry:
+//!
+//! * **reordering** — an entry is held back and re-emitted up to
+//!   [`ChaosConfig::reorder_window`] entries later (bounded displacement,
+//!   as produced by parallel export pipelines);
+//! * **duplication** — the entry is emitted twice (tap-side retransmit);
+//! * **drop** — the entry is silently lost;
+//! * **timestamp skew** — the timestamp moves forward or backward by up
+//!   to [`ChaosConfig::max_skew`] (clock steps on the collector);
+//! * **field corruption** — one field is truncated or replaced with
+//!   garbage (truncated export record);
+//! * **subscriber-ID collision** — the anonymized subscriber id is
+//!   remapped into a tiny id space, merging unrelated streams;
+//! * **stream cut** — every later entry of the subscriber is lost
+//!   (capture process death mid-session).
+//!
+//! Everything is driven by one [`StdRng`] seeded explicitly, so a given
+//! `(stream, config, seed)` triple always yields the same faulted
+//! stream.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vqoe_simnet::time::{Duration, Instant};
+
+use crate::weblog::WeblogEntry;
+
+/// Per-entry probabilities and bounds for each fault operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Probability an entry is held back and re-emitted later.
+    pub reorder: f64,
+    /// Maximum displacement (in emitted entries) of a reordered entry.
+    pub reorder_window: usize,
+    /// Probability an entry is emitted twice.
+    pub duplicate: f64,
+    /// Probability an entry is dropped.
+    pub drop: f64,
+    /// Probability an entry's timestamp is skewed.
+    pub skew: f64,
+    /// Maximum forward or backward timestamp skew.
+    pub max_skew: Duration,
+    /// Probability one field of an entry is corrupted or truncated.
+    pub corrupt: f64,
+    /// Probability an entry's subscriber id is remapped into the
+    /// colliding id space `0..collide_modulus`.
+    pub collide: f64,
+    /// Size of the colliding subscriber-id space.
+    pub collide_modulus: u64,
+    /// Probability the subscriber's remaining stream is cut here.
+    pub cut: f64,
+}
+
+impl ChaosConfig {
+    /// No faults at all: the tap is a pass-through.
+    pub fn clean() -> Self {
+        ChaosConfig {
+            reorder: 0.0,
+            reorder_window: 8,
+            duplicate: 0.0,
+            drop: 0.0,
+            skew: 0.0,
+            max_skew: Duration::from_secs(10),
+            corrupt: 0.0,
+            collide: 0.0,
+            collide_modulus: 4,
+            cut: 0.0,
+        }
+    }
+
+    /// A single-knob fault mix: every operation's probability scales
+    /// with `intensity` in `[0, 1]`. The weights keep the destructive
+    /// operations (cut, collision) rarer than the reparable ones
+    /// (reordering, duplication), roughly matching the incident mix a
+    /// tap aggregator produces under load.
+    pub fn uniform(intensity: f64) -> Self {
+        let i = intensity.clamp(0.0, 1.0);
+        ChaosConfig {
+            reorder: i,
+            duplicate: i / 2.0,
+            drop: i / 2.0,
+            skew: i / 2.0,
+            corrupt: i / 2.0,
+            collide: i / 10.0,
+            cut: i / 200.0,
+            ..ChaosConfig::clean()
+        }
+    }
+
+    /// True when every fault probability is zero (pass-through tap).
+    pub fn is_clean(&self) -> bool {
+        self.reorder == 0.0
+            && self.duplicate == 0.0
+            && self.drop == 0.0
+            && self.skew == 0.0
+            && self.corrupt == 0.0
+            && self.collide == 0.0
+            && self.cut == 0.0
+    }
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig::clean()
+    }
+}
+
+/// Counters of faults actually applied by a [`ChaosTap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChaosStats {
+    /// Entries pulled from the wrapped iterator.
+    pub consumed: u64,
+    /// Entries emitted downstream (after drops and duplicates).
+    pub emitted: u64,
+    /// Entries held back for later emission.
+    pub reordered: u64,
+    /// Entries emitted twice.
+    pub duplicated: u64,
+    /// Entries dropped outright.
+    pub dropped: u64,
+    /// Entries with a skewed timestamp.
+    pub skewed: u64,
+    /// Entries with a corrupted field.
+    pub corrupted: u64,
+    /// Entries remapped onto a colliding subscriber id.
+    pub collided: u64,
+    /// Subscriber streams cut mid-session.
+    pub streams_cut: u64,
+    /// Entries lost to an earlier stream cut.
+    pub cut_dropped: u64,
+}
+
+/// A fault-injecting adapter over any [`WeblogEntry`] iterator.
+///
+/// ```
+/// use vqoe_telemetry::chaos::{ChaosConfig, ChaosTap};
+/// let entries: Vec<vqoe_telemetry::WeblogEntry> = Vec::new();
+/// let faulted: Vec<_> =
+///     ChaosTap::new(entries.into_iter(), ChaosConfig::uniform(0.1), 42).collect();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaosTap<I> {
+    inner: I,
+    cfg: ChaosConfig,
+    rng: StdRng,
+    /// Entries ready to emit, in order.
+    ready: VecDeque<WeblogEntry>,
+    /// Held-back entries with a countdown in consumed entries.
+    held: Vec<(usize, WeblogEntry)>,
+    /// Subscribers whose stream has been cut.
+    cut: BTreeSet<u64>,
+    stats: ChaosStats,
+    inner_done: bool,
+}
+
+impl<I: Iterator<Item = WeblogEntry>> ChaosTap<I> {
+    /// Wrap `inner` with the fault mix of `cfg`, driven by `seed`.
+    pub fn new(inner: I, cfg: ChaosConfig, seed: u64) -> Self {
+        ChaosTap {
+            inner,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            ready: VecDeque::new(),
+            held: Vec::new(),
+            cut: BTreeSet::new(),
+            stats: ChaosStats::default(),
+            inner_done: false,
+        }
+    }
+
+    /// Counters of the faults applied so far.
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        // `gen::<f64>() < p` instead of `gen_bool` so a hostile config
+        // (p outside [0, 1]) saturates instead of panicking.
+        p > 0.0 && self.rng.gen::<f64>() < p
+    }
+
+    /// Apply the fault mix to one consumed entry, queueing 0–2 outputs.
+    fn process(&mut self, mut e: WeblogEntry) {
+        self.stats.consumed += 1;
+        if self.cut.contains(&e.subscriber_id) {
+            self.stats.cut_dropped += 1;
+            return;
+        }
+        if self.roll(self.cfg.cut) {
+            self.cut.insert(e.subscriber_id);
+            self.stats.streams_cut += 1;
+            self.stats.cut_dropped += 1;
+            return;
+        }
+        if self.roll(self.cfg.drop) {
+            self.stats.dropped += 1;
+            return;
+        }
+        if self.roll(self.cfg.collide) {
+            e.subscriber_id %= self.cfg.collide_modulus.max(1);
+            self.stats.collided += 1;
+        }
+        if self.roll(self.cfg.skew) {
+            let span = self.cfg.max_skew.as_micros();
+            let offset = self.rng.gen_range(0..=span);
+            e.timestamp = if self.rng.gen::<bool>() {
+                e.timestamp + vqoe_simnet::time::Duration(offset)
+            } else {
+                Instant(e.timestamp.as_micros().saturating_sub(offset))
+            };
+            self.stats.skewed += 1;
+        }
+        if self.roll(self.cfg.corrupt) {
+            self.corrupt(&mut e);
+            self.stats.corrupted += 1;
+        }
+        if self.roll(self.cfg.duplicate) {
+            self.ready.push_back(e.clone());
+            self.stats.duplicated += 1;
+        }
+        if self.cfg.reorder_window > 0 && self.roll(self.cfg.reorder) {
+            let delay = self.rng.gen_range(1..=self.cfg.reorder_window);
+            self.held.push((delay, e));
+            self.stats.reordered += 1;
+        } else {
+            self.ready.push_back(e);
+        }
+    }
+
+    /// Damage one field of the entry, as a truncated or garbled export
+    /// record would: the entry stays structurally a `WeblogEntry`, but
+    /// its content is no longer trustworthy.
+    fn corrupt(&mut self, e: &mut WeblogEntry) {
+        match self.rng.gen_range(0u32..6) {
+            0 => e.host.truncate(e.host.len() / 2),
+            1 => e.host.clear(),
+            2 => e.bytes = u64::MAX,
+            3 => e.bytes = 0,
+            4 => e.duration = Duration::from_secs(48 * 3600),
+            _ => e.uri = Some("\u{fffd}%%%garbage-export-tail".to_string()),
+        }
+    }
+
+    /// Tick held entries after one consumed entry and release the due
+    /// ones.
+    fn tick_held(&mut self) {
+        let mut i = 0;
+        while i < self.held.len() {
+            if self.held[i].0 <= 1 {
+                let (_, e) = self.held.remove(i);
+                self.ready.push_back(e);
+            } else {
+                self.held[i].0 -= 1;
+                i += 1;
+            }
+        }
+    }
+}
+
+impl<I: Iterator<Item = WeblogEntry>> Iterator for ChaosTap<I> {
+    type Item = WeblogEntry;
+
+    fn next(&mut self) -> Option<WeblogEntry> {
+        loop {
+            if let Some(e) = self.ready.pop_front() {
+                self.stats.emitted += 1;
+                return Some(e);
+            }
+            if self.inner_done {
+                if self.held.is_empty() {
+                    return None;
+                }
+                // End of stream: flush every held entry in held order.
+                let held = std::mem::take(&mut self.held);
+                self.ready.extend(held.into_iter().map(|(_, e)| e));
+                continue;
+            }
+            match self.inner.next() {
+                None => self.inner_done = true,
+                Some(e) => {
+                    self.tick_held();
+                    self.process(e);
+                }
+            }
+        }
+    }
+}
+
+/// Apply `cfg` to a whole entry slice at once, returning the faulted
+/// stream and the fault counters. Convenience wrapper over [`ChaosTap`]
+/// for batch callers (experiments, benches).
+pub fn apply_chaos(
+    entries: &[WeblogEntry],
+    cfg: &ChaosConfig,
+    seed: u64,
+) -> (Vec<WeblogEntry>, ChaosStats) {
+    let mut tap = ChaosTap::new(entries.iter().cloned(), *cfg, seed);
+    let mut out = Vec::with_capacity(entries.len());
+    for e in tap.by_ref() {
+        out.push(e);
+    }
+    (out, tap.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::generate_noise;
+    use rand::SeedableRng;
+
+    fn stream(n: usize) -> Vec<WeblogEntry> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        generate_noise(1, Instant::ZERO, Instant::from_secs(n as u64), n, &mut rng)
+    }
+
+    #[test]
+    fn clean_config_is_a_pass_through() {
+        let entries = stream(200);
+        let (out, stats) = apply_chaos(&entries, &ChaosConfig::clean(), 7);
+        assert_eq!(out, entries);
+        assert_eq!(stats.consumed, 200);
+        assert_eq!(stats.emitted, 200);
+        assert_eq!(stats.dropped + stats.duplicated + stats.corrupted, 0);
+        assert!(ChaosConfig::clean().is_clean());
+        assert!(!ChaosConfig::uniform(0.2).is_clean());
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let entries = stream(300);
+        let cfg = ChaosConfig::uniform(0.3);
+        let (a, sa) = apply_chaos(&entries, &cfg, 11);
+        let (b, sb) = apply_chaos(&entries, &cfg, 11);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let (c, _) = apply_chaos(&entries, &cfg, 12);
+        assert_ne!(a, c, "different seeds must fault differently");
+    }
+
+    #[test]
+    fn drops_shrink_and_duplicates_grow_the_stream() {
+        let entries = stream(400);
+        let dropped = ChaosConfig {
+            drop: 0.5,
+            ..ChaosConfig::clean()
+        };
+        let (out, stats) = apply_chaos(&entries, &dropped, 5);
+        assert!(out.len() < entries.len());
+        assert_eq!(out.len() as u64, stats.emitted);
+        assert_eq!(stats.dropped, entries.len() as u64 - out.len() as u64);
+
+        let duplicated = ChaosConfig {
+            duplicate: 0.5,
+            ..ChaosConfig::clean()
+        };
+        let (out, stats) = apply_chaos(&entries, &duplicated, 5);
+        assert!(out.len() > entries.len());
+        assert_eq!(stats.duplicated, out.len() as u64 - entries.len() as u64);
+    }
+
+    #[test]
+    fn reordering_is_bounded_and_preserves_the_multiset() {
+        let entries = stream(300);
+        let cfg = ChaosConfig {
+            reorder: 0.4,
+            reorder_window: 6,
+            ..ChaosConfig::clean()
+        };
+        let (out, stats) = apply_chaos(&entries, &cfg, 9);
+        assert_eq!(out.len(), entries.len());
+        assert!(stats.reordered > 0);
+        // Same entries, different order.
+        let mut a = entries.clone();
+        let mut b = out.clone();
+        a.sort_by_key(|e| (e.timestamp, e.bytes));
+        b.sort_by_key(|e| (e.timestamp, e.bytes));
+        assert_eq!(a, b);
+        // Displacement of every entry is bounded by the window plus the
+        // in-flight slack of other held entries.
+        for (i, e) in entries.iter().enumerate() {
+            let j = out
+                .iter()
+                .position(|o| o == e)
+                .expect("entry survived reordering");
+            assert!(
+                (j as i64 - i as i64).unsigned_abs() as usize <= cfg.reorder_window * 2,
+                "entry {i} displaced to {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn cut_removes_the_tail_of_a_subscriber() {
+        let entries = stream(500);
+        let cfg = ChaosConfig {
+            cut: 0.02,
+            ..ChaosConfig::clean()
+        };
+        let (out, stats) = apply_chaos(&entries, &cfg, 13);
+        assert!(stats.streams_cut >= 1);
+        assert_eq!(
+            stats.cut_dropped,
+            entries.len() as u64 - out.len() as u64,
+            "everything after the cut is lost"
+        );
+        // The surviving prefix is unmodified.
+        assert_eq!(out[..], entries[..out.len()]);
+    }
+
+    #[test]
+    fn corruption_damages_fields_but_keeps_records_parseable() {
+        let entries = stream(400);
+        let cfg = ChaosConfig {
+            corrupt: 1.0,
+            ..ChaosConfig::clean()
+        };
+        let (out, stats) = apply_chaos(&entries, &cfg, 17);
+        assert_eq!(stats.corrupted, entries.len() as u64);
+        assert_eq!(out.len(), entries.len());
+        assert!(out.iter().zip(entries.iter()).any(|(o, e)| o != e));
+    }
+}

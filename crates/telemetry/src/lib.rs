@@ -23,6 +23,15 @@
 //!   service-related domains, find the page-fetch markers that bracket a
 //!   session, split on idle gaps, and group chunk transactions into
 //!   reassembled sessions.
+//! * [`chaos`] — a deterministic fault injector ([`chaos::ChaosTap`])
+//!   that degrades a weblog stream the way a hostile operator tap does:
+//!   reordering, duplication, drops, timestamp skew, field corruption,
+//!   subscriber-ID collisions and mid-session cuts, all from one seed.
+//! * [`ingest`] — the graceful-degradation layer: a hardened
+//!   [`ingest::RobustReassembler`] that re-sorts bounded reordering,
+//!   suppresses duplicates and quarantines malformed entries into a
+//!   typed [`ingest::AnomalyLog`], reporting [`ingest::StreamHealth`]
+//!   counters throughout.
 //! * [`groundtruth`] — the §3.2 reverse-engineering step: parse the
 //!   cleartext URIs back into per-session ground truth (session IDs,
 //!   itag sequences, stall totals from playback reports).
@@ -36,17 +45,24 @@
 #![warn(missing_docs)]
 
 pub mod capture;
+pub mod chaos;
 pub mod dataset;
 pub mod error;
 pub mod groundtruth;
+pub mod ingest;
 pub mod reassembly;
 pub mod uri;
 pub mod weblog;
 
 pub use capture::{capture_session, CaptureConfig};
+pub use chaos::{apply_chaos, ChaosConfig, ChaosStats, ChaosTap};
 pub use dataset::{join_sessions, read_jsonl, write_jsonl, JoinedSession};
 pub use error::TelemetryError;
 pub use groundtruth::{extract_sessions, ExtractedChunk, ExtractedSession};
+pub use ingest::{
+    robust_reassemble_subscriber, validate_entry, AnomalyKind, AnomalyLog, IngestAnomaly,
+    IngestConfig, RobustReassembler, StreamHealth,
+};
 pub use reassembly::{
     reassemble_subscriber, ReassembledSession, ReassemblyConfig, StreamReassembler,
 };

@@ -231,6 +231,127 @@ mod tests {
         assert_eq!(parse_dur_ms("abc"), None);
     }
 
+    mod adversarial {
+        //! Seeded mutation corpus: the parsers must treat a hostile tap's
+        //! damaged URIs as data, not as a crash surface. Every mutation
+        //! must yield `Some` or `None` — never a panic — and mutations
+        //! that garble a required field must yield `None`.
+        use super::*;
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+
+        /// Truncate at a random char boundary, shuffle the `&`-separated
+        /// pairs, or pad with junk — the three damage shapes the chaos
+        /// tap's export-corruption model produces.
+        fn mutate(uri: &str, rng: &mut StdRng) -> String {
+            match rng.gen_range(0u32..4) {
+                0 => {
+                    let cut = rng.gen_range(0..=uri.len());
+                    let mut end = cut;
+                    while end > 0 && !uri.is_char_boundary(end) {
+                        end -= 1;
+                    }
+                    uri[..end].to_string()
+                }
+                1 => {
+                    let (path, query) = uri.split_once('?').unwrap_or((uri, ""));
+                    let mut pairs: Vec<&str> = query.split('&').collect();
+                    pairs.shuffle(rng);
+                    format!("{path}?{}", pairs.join("&"))
+                }
+                2 => {
+                    let junk: String = (0..rng.gen_range(1..40usize))
+                        .map(|_| char::from(rng.gen_range(33u8..127)))
+                        .collect();
+                    format!("{uri}&{junk}")
+                }
+                _ => {
+                    // Garble one required field's value in place.
+                    let key = [
+                        "cpn=", "itag=", "clen=", "dur=", "sq=", "cmt=", "bc=", "bt=",
+                    ][rng.gen_range(0..8usize)];
+                    uri.replace(key, &format!("{key}\u{fffd}%%"))
+                }
+            }
+        }
+
+        #[test]
+        fn mutated_chunk_uris_never_panic() {
+            let mut rng = StdRng::seed_from_u64(2024);
+            let clean = encode_videoplayback(&params());
+            for _ in 0..2000 {
+                let m = mutate(&clean, &mut rng);
+                // Must not panic; a `Some` is only legal if the mutation
+                // preserved every required field (e.g. a pure reorder).
+                let _ = parse_videoplayback(&m);
+                let _ = parse_stats_report(&m);
+            }
+        }
+
+        #[test]
+        fn mutated_stats_uris_never_panic() {
+            let mut rng = StdRng::seed_from_u64(4048);
+            let clean = encode_stats_report(&PlaybackReport {
+                session_id: "AbCdEfGhIjKlMnOp".to_string(),
+                playhead_secs: 12.5,
+                stall_count: 1,
+                stall_secs: 3.25,
+                state: "buffering".to_string(),
+            });
+            for _ in 0..2000 {
+                let m = mutate(&clean, &mut rng);
+                let _ = parse_stats_report(&m);
+                let _ = parse_videoplayback(&m);
+            }
+        }
+
+        #[test]
+        fn garbled_required_fields_are_rejected() {
+            let clean = encode_videoplayback(&params());
+            for key in ["cpn=", "itag=", "clen=", "dur=", "sq="] {
+                let garbled = clean.replace(key, &format!("{key}\u{fffd}%%"));
+                assert_eq!(parse_videoplayback(&garbled), None, "key {key}");
+            }
+        }
+
+        #[test]
+        fn truncation_inside_the_query_is_rejected() {
+            let clean = encode_videoplayback(&params());
+            // Any cut that loses the trailing required params must fail.
+            for end in "/videoplayback?cpn=".len()..clean.find("&sq=").unwrap() {
+                if !clean.is_char_boundary(end) {
+                    continue;
+                }
+                assert_eq!(parse_videoplayback(&clean[..end]), None, "cut at {end}");
+            }
+        }
+
+        #[test]
+        fn pure_pair_reordering_still_decodes() {
+            // Reordering query pairs damages nothing: the codec is a map.
+            let p = params();
+            let uri = format!(
+                "/videoplayback?sq={}&dur={}.{:03}&clen={}&mime={}%2Fmp4&itag={}&cpn={}",
+                p.sq,
+                p.dur_ms / 1000,
+                p.dur_ms % 1000,
+                p.clen,
+                p.mime,
+                p.itag_code,
+                p.session_id
+            );
+            assert_eq!(parse_videoplayback(&uri), Some(p));
+        }
+
+        #[test]
+        fn junk_padding_is_ignored_not_fatal() {
+            let clean = encode_videoplayback(&params());
+            let padded = format!("{clean}&&&=&x&&junk==%%&\u{fffd}=\u{fffd}");
+            assert_eq!(parse_videoplayback(&padded), Some(params()));
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_videoplayback_roundtrip(

@@ -39,7 +39,7 @@ fn main() {
     let mut assessor = OnlineAssessor::new(monitor);
     let mut emitted = 0usize;
     for e in &entries {
-        if let Some(a) = assessor.ingest(e) {
+        for a in assessor.ingest(e) {
             emitted += 1;
             println!(
                 "[t={:>9}] subscriber {:>3}: session closed — {:?}, {:?}, switching={}, MOS {:.1}{}",
@@ -53,12 +53,18 @@ fn main() {
             );
         }
     }
-    for a in assessor.finish() {
+    let report = assessor.into_report();
+    for a in &report.assessments {
         emitted += 1;
         println!(
             "[tap close ] trailing session — {:?}, {:?}, MOS {:.1}",
             a.stall, a.representation, a.qoe.mos
         );
     }
-    println!("\n{emitted} sessions assessed in streaming mode, zero batch windows.");
+    let h = report.health;
+    println!(
+        "\n{emitted} sessions assessed in streaming mode, zero batch windows \
+         ({} entries seen, {} quarantined, {} subscribers evicted).",
+        h.entries_seen, h.entries_quarantined, h.sessions_evicted
+    );
 }

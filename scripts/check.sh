@@ -11,10 +11,16 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> vqoe-analyze (determinism / panic-path / constants / hygiene)"
+echo "==> vqoe-analyze (determinism / panic-path / constants / hygiene / bounded)"
 cargo run -q -p vqoe-analyze
 
 echo "==> cargo test --workspace"
 cargo test --workspace -q
+
+# Opt-in long soak: a high-fault chaos stream through the online
+# assessor (see scripts/soak.sh). Default runtime is unchanged.
+if [[ "${VQOE_SOAK:-0}" == "1" ]]; then
+  ./scripts/soak.sh
+fi
 
 echo "all gates passed"

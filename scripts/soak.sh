@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Long-running chaos soak: a half-broken tap (50 % composite fault
+# rate, 8 subscribers against a 4-slot cap) streamed through the
+# hardened online assessor, asserting the subscriber cap after every
+# entry and counter monotonicity throughout. Kept out of the default
+# test run for latency; scripts/check.sh invokes it when VQOE_SOAK=1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> chaos soak (release, --ignored)"
+cargo test --release -q -p vqoe-core --test chaos_matrix -- --ignored

@@ -1,0 +1,294 @@
+//! Fault-matrix integration tests: every `ChaosTap` fault operation,
+//! alone and composed, through the hardened [`OnlineAssessor`].
+//!
+//! The contract under test (ISSUE 2 acceptance criteria):
+//!
+//! * the assessor never panics, whatever the tap delivers;
+//! * `open_subscribers()` never exceeds the configured cap;
+//! * quarantined entries never reach feature extraction;
+//! * at fault rate zero the emitted assessments are bit-identical to
+//!   the un-wrapped batch pipeline.
+
+use std::sync::OnceLock;
+
+use vqoe_core::{
+    EncryptedEvalConfig, EncryptedWorld, OnlineAssessor, QoeMonitor, SessionAssessment,
+    TrainingConfig,
+};
+use vqoe_telemetry::{
+    apply_chaos, robust_reassemble_subscriber, validate_entry, ChaosConfig, IngestConfig,
+    ReassemblyConfig, StreamHealth, WeblogEntry,
+};
+
+fn monitor() -> &'static QoeMonitor {
+    static MONITOR: OnceLock<QoeMonitor> = OnceLock::new();
+    MONITOR.get_or_init(|| {
+        QoeMonitor::train(&TrainingConfig {
+            cleartext_sessions: 250,
+            adaptive_sessions: 150,
+            seed: 81,
+            ..TrainingConfig::default()
+        })
+    })
+}
+
+/// A tap shared by `subscribers` independent streams, interleaved by
+/// timestamp as the proxy would deliver them.
+fn multi_subscriber_tap(subscribers: u64, sessions: usize, seed: u64) -> Vec<WeblogEntry> {
+    let mut entries = Vec::new();
+    for s in 0..subscribers {
+        let mut cfg = EncryptedEvalConfig::paper_default(seed + s);
+        cfg.spec.n_sessions = sessions;
+        let mut world = EncryptedWorld::build(&cfg).expect("simulated world builds");
+        for e in &mut world.entries {
+            e.subscriber_id = s;
+        }
+        entries.extend(world.entries);
+    }
+    entries.sort_by_key(|e| e.timestamp);
+    entries
+}
+
+/// Each fault operation of the chaos tap, isolated.
+fn fault_ops() -> Vec<(&'static str, ChaosConfig)> {
+    let clean = ChaosConfig::clean;
+    vec![
+        (
+            "reorder",
+            ChaosConfig {
+                reorder: 0.3,
+                ..clean()
+            },
+        ),
+        (
+            "duplicate",
+            ChaosConfig {
+                duplicate: 0.3,
+                ..clean()
+            },
+        ),
+        (
+            "drop",
+            ChaosConfig {
+                drop: 0.3,
+                ..clean()
+            },
+        ),
+        (
+            "skew",
+            ChaosConfig {
+                skew: 0.3,
+                ..clean()
+            },
+        ),
+        (
+            "corrupt",
+            ChaosConfig {
+                corrupt: 0.3,
+                ..clean()
+            },
+        ),
+        (
+            "collide",
+            ChaosConfig {
+                collide: 0.3,
+                ..clean()
+            },
+        ),
+        (
+            "cut",
+            ChaosConfig {
+                cut: 0.01,
+                ..clean()
+            },
+        ),
+    ]
+}
+
+/// Run a faulted tap through the assessor, asserting the subscriber cap
+/// after every single entry.
+fn run_capped(
+    entries: &[WeblogEntry],
+    cap: usize,
+    ctx: &str,
+) -> (Vec<SessionAssessment>, StreamHealth) {
+    let cfg = IngestConfig {
+        max_open_subscribers: cap,
+        ..IngestConfig::default()
+    };
+    let mut online = OnlineAssessor::with_config(monitor().clone(), cfg);
+    let mut out = Vec::new();
+    for e in entries {
+        out.extend(online.ingest(e));
+        assert!(
+            online.open_subscribers() <= cap,
+            "[{ctx}] open_subscribers {} exceeds cap {cap}",
+            online.open_subscribers()
+        );
+    }
+    let report = online.into_report();
+    out.extend(report.assessments);
+    (out, report.health)
+}
+
+#[test]
+fn every_fault_op_alone_is_survivable_under_a_tight_cap() {
+    // Three subscribers against a two-slot cap: every op also has to
+    // coexist with forced evictions.
+    let entries = multi_subscriber_tap(3, 2, 300);
+    for (name, cfg) in fault_ops() {
+        let (faulted, stats) = apply_chaos(&entries, &cfg, 42);
+        let (_, health) = run_capped(&faulted, 2, name);
+        assert_eq!(
+            health.entries_seen,
+            faulted.len() as u64,
+            "[{name}] every delivered entry must be counted"
+        );
+        if name == "duplicate" {
+            assert!(stats.duplicated > 0 && health.entries_duplicated > 0);
+        }
+        if name == "corrupt" {
+            assert!(health.entries_quarantined > 0, "corruption must quarantine");
+        }
+    }
+}
+
+#[test]
+fn composed_faults_are_survivable_under_a_tight_cap() {
+    let entries = multi_subscriber_tap(3, 2, 400);
+    for seed in [1u64, 2, 3] {
+        let (faulted, _) = apply_chaos(&entries, &ChaosConfig::uniform(0.3), seed);
+        let (assessments, health) = run_capped(&faulted, 2, "composed");
+        assert_eq!(health.entries_seen, faulted.len() as u64);
+        for a in &assessments {
+            assert!(a.switch_score.is_finite());
+            assert!(a.end >= a.start);
+        }
+    }
+}
+
+#[test]
+fn zero_faults_are_bit_identical_to_the_batch_pipeline() {
+    // Single subscriber: emission order matches session order exactly.
+    let mut cfg = EncryptedEvalConfig::paper_default(500);
+    cfg.spec.n_sessions = 8;
+    let world = EncryptedWorld::build(&cfg).expect("simulated world builds");
+    let batch = monitor().assess_subscriber(&world.entries);
+
+    let (tapped, stats) = apply_chaos(&world.entries, &ChaosConfig::clean(), 9);
+    assert_eq!(tapped, world.entries, "clean tap must not alter the stream");
+    assert_eq!(stats.emitted, world.entries.len() as u64);
+
+    let mut online = OnlineAssessor::new(monitor().clone());
+    let mut streamed = Vec::new();
+    for e in &tapped {
+        streamed.extend(online.ingest(e));
+    }
+    let report = online.into_report();
+    streamed.extend(report.assessments);
+    assert_eq!(
+        streamed, batch,
+        "robust layer must be invisible at zero faults"
+    );
+    assert!(streamed.iter().all(|a| !a.partial));
+    assert_eq!(report.health.entries_reordered, 0);
+    assert_eq!(report.health.entries_duplicated, 0);
+    assert_eq!(report.health.entries_quarantined, 0);
+    assert_eq!(report.health.sessions_evicted, 0);
+    assert_eq!(report.anomalies.total(), 0);
+}
+
+#[test]
+fn zero_faults_multi_subscriber_matches_batch_per_subscriber() {
+    let entries = multi_subscriber_tap(3, 2, 600);
+    // Batch reference: each subscriber's stream assessed independently.
+    let mut batch = Vec::new();
+    for s in 0..3u64 {
+        let own: Vec<WeblogEntry> = entries
+            .iter()
+            .filter(|e| e.subscriber_id == s)
+            .cloned()
+            .collect();
+        batch.extend(monitor().assess_subscriber(&own));
+    }
+    let (mut streamed, health) = run_capped(&entries, 65_536, "multi-clean");
+    // Emission order differs (interleaved vs per-subscriber), so
+    // compare under a canonical order.
+    batch.sort_by_key(|a| (a.start, a.end));
+    streamed.sort_by_key(|a| (a.start, a.end));
+    assert_eq!(streamed, batch);
+    assert_eq!(health.entries_quarantined, 0);
+    assert_eq!(health.sessions_evicted, 0);
+}
+
+#[test]
+fn quarantined_entries_never_reach_feature_extraction() {
+    let mut cfg = EncryptedEvalConfig::paper_default(700);
+    cfg.spec.n_sessions = 3;
+    let world = EncryptedWorld::build(&cfg).expect("simulated world builds");
+    let (faulted, _) = apply_chaos(
+        &world.entries,
+        &ChaosConfig {
+            corrupt: 0.4,
+            ..ChaosConfig::clean()
+        },
+        11,
+    );
+    let ingest = IngestConfig::default();
+    let (sessions, health, anomalies) =
+        robust_reassemble_subscriber(&faulted, &ReassemblyConfig::default(), &ingest);
+    assert!(health.entries_quarantined > 0);
+    assert_eq!(health.entries_quarantined, anomalies.total());
+    // Feature extraction consumes `chunks` (and diagnostics keep
+    // `other`): neither may contain anything validation rejects.
+    for s in &sessions {
+        assert!(s
+            .chunks
+            .iter()
+            .all(|e| validate_entry(e, &ingest).is_none()));
+        assert!(s.other.iter().all(|e| validate_entry(e, &ingest).is_none()));
+    }
+}
+
+#[test]
+#[ignore = "long soak run; exercised by scripts/soak.sh (VQOE_SOAK=1)"]
+fn soak_high_fault_rate_stays_bounded_and_monotone() {
+    let entries = multi_subscriber_tap(8, 5, 900);
+    let (faulted, _) = apply_chaos(&entries, &ChaosConfig::uniform(0.5), 77);
+    let cap = 4usize;
+    let cfg = IngestConfig {
+        max_open_subscribers: cap,
+        max_anomalies_kept: 256,
+        ..IngestConfig::default()
+    };
+    let mut online = OnlineAssessor::with_config(monitor().clone(), cfg);
+    let mut prev = StreamHealth::default();
+    let mut emitted = 0usize;
+    for (i, e) in faulted.iter().enumerate() {
+        emitted += online.ingest(e).len();
+        assert!(
+            online.open_subscribers() <= cap,
+            "cap violated at entry {i}"
+        );
+        if i % 499 == 0 {
+            let h = online.health();
+            // Every counter is monotone, individually.
+            assert!(h.entries_seen >= prev.entries_seen);
+            assert!(h.entries_reordered >= prev.entries_reordered);
+            assert!(h.entries_duplicated >= prev.entries_duplicated);
+            assert!(h.entries_quarantined >= prev.entries_quarantined);
+            assert!(h.sessions_evicted >= prev.sessions_evicted);
+            assert!(h.sessions_partial >= prev.sessions_partial);
+            prev = h;
+            // Quarantine memory stays bounded no matter the fault rate.
+            assert!(online.anomalies().kept().len() <= 256);
+        }
+    }
+    let report = online.into_report();
+    emitted += report.assessments.len();
+    assert_eq!(report.health.entries_seen, faulted.len() as u64);
+    assert!(
+        emitted > 0,
+        "a half-broken tap must still yield assessments"
+    );
+}
