@@ -1,0 +1,25 @@
+//! Fixture: a parallel-engine reducer that merges shard outputs by
+//! iterating a `HashMap` — the order-dependent bug class the live
+//! engine avoids by keying every worker-side table on a `BTreeMap`.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn nondeterministic_reduce() -> u64 {
+    let mut per_shard: HashMap<usize, u64> = HashMap::new();
+    per_shard.insert(0, 7);
+    let mut merged = 0;
+    for (_, v) in per_shard.iter() {
+        merged += v;
+    }
+    merged
+}
+
+pub fn ordered_reduce_is_silent() -> u64 {
+    let mut by_shard: BTreeMap<usize, u64> = BTreeMap::new();
+    by_shard.insert(0, 7);
+    by_shard.values().sum()
+}
+
+pub fn keyed_access_is_silent(per_subscriber: HashMap<u64, u64>) -> Option<u64> {
+    per_subscriber.get(&3).copied()
+}

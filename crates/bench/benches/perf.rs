@@ -8,7 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use vqoe_changedet::detector::{session_score, SwitchScoreConfig};
-use vqoe_core::{generate_traces, DatasetSpec, OnlineAssessor, QoeMonitor, TrainingConfig};
+use vqoe_core::{
+    generate_traces, DatasetSpec, EngineConfig, OnlineAssessor, QoeMonitor, TrainingConfig,
+};
 use vqoe_features::{representation_features, stall_features, SessionObs};
 use vqoe_ml::{cross_validate, ForestConfig, RandomForest};
 use vqoe_player::{simulate_session, AbrKind, Delivery, SessionConfig};
@@ -190,12 +192,61 @@ fn bench_online_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine(c: &mut Criterion) {
+    // The sharded parallel engine over a multi-subscriber tap, 1 worker
+    // vs 4 (no simulated tap pacing — pure compute; the tap-paced
+    // regime lives in the `engine-scaling` repro experiment).
+    let mut rng = rand::SeedableRng::seed_from_u64(8);
+    let mut entries = Vec::new();
+    for s in 0..6u64 {
+        let spec = DatasetSpec {
+            n_sessions: 4,
+            ..DatasetSpec::encrypted_default(80 + s)
+        };
+        for t in &vqoe_core::generate_sequential_traces(&spec, 120.0) {
+            entries.extend(
+                vqoe_telemetry::capture_session(
+                    t,
+                    &vqoe_telemetry::CaptureConfig {
+                        encrypted: true,
+                        subscriber_id: s,
+                    },
+                    &mut rng,
+                )
+                .expect("simulated traces always capture"),
+            );
+        }
+    }
+    entries.sort_by_key(|e| e.timestamp);
+    let monitor = QoeMonitor::train(&TrainingConfig {
+        cleartext_sessions: 250,
+        adaptive_sessions: 150,
+        seed: 18,
+        ..TrainingConfig::default()
+    });
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        let cfg = EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        };
+        let name = format!("assess_corpus_w{workers}");
+        group.bench_function(name.as_str(), |b| {
+            b.iter(|| monitor.assess_corpus(&entries, &cfg))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_simulation,
     bench_features,
     bench_ml,
     bench_telemetry,
-    bench_online_ingest
+    bench_online_ingest,
+    bench_engine
 );
 criterion_main!(benches);

@@ -10,7 +10,9 @@
 //! ```
 
 use std::io::Write;
-use vqoe_bench::experiments::{abr_comparison, run_experiment, EXPERIMENTS};
+use vqoe_bench::experiments::{
+    abr_comparison, engine_scaling_with, run_experiment, EngineScalingConfig, EXPERIMENTS,
+};
 use vqoe_bench::{ReproContext, ReproScale};
 
 fn main() {
@@ -18,6 +20,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = ReproScale::default();
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut bench_json: Option<std::path::PathBuf> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -43,6 +46,14 @@ fn main() {
                     args.get(i)
                         .map(std::path::PathBuf::from)
                         .unwrap_or_else(|| usage("--out needs a directory")),
+                );
+            }
+            "--bench-json" => {
+                i += 1;
+                bench_json = Some(
+                    args.get(i)
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| usage("--bench-json needs a file path")),
                 );
             }
             "--smoke" => {
@@ -82,6 +93,12 @@ fn main() {
     for id in &ids {
         let report = if id == "abr-comparison" {
             abr_comparison(scale.seed, 600)
+        } else if id == "engine-scaling" {
+            let (txt, json) = engine_scaling_with(&ctx, EngineScalingConfig::quick());
+            if let Some(path) = &bench_json {
+                std::fs::write(path, json).expect("write --bench-json file");
+            }
+            txt
         } else {
             run_experiment(id, &ctx)
         };
@@ -100,7 +117,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--sessions N] [--seed S] [--out DIR] [--smoke] <experiment...|all>\n\
+        "usage: repro [--sessions N] [--seed S] [--out DIR] [--smoke] \
+         [--bench-json FILE] <experiment...|all>\n\
          experiments: {}  abr-comparison",
         EXPERIMENTS.join(" ")
     );

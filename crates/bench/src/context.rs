@@ -4,7 +4,8 @@
 use vqoe_changedet::SwitchScoreConfig;
 use vqoe_core::avgrep_pipeline::{train_representation_detector, RepresentationTrainingReport};
 use vqoe_core::stall_pipeline::{train_stall_detector, StallTrainingReport};
-use vqoe_core::switch_pipeline::{calibrate_switch_detector, SwitchCalibrationReport};
+use vqoe_core::switch_pipeline::SwitchCalibrationReport;
+use vqoe_core::SwitchModel;
 use vqoe_core::{generate_traces, DatasetSpec, EncryptedEvalConfig, EncryptedWorld};
 use vqoe_ml::ForestConfig;
 use vqoe_player::SessionTrace;
@@ -78,7 +79,7 @@ impl ReproContext {
         let stall = train_stall_detector(&stall_corpus, ForestConfig::default(), scale.seed);
         let representation =
             train_representation_detector(&adaptive, ForestConfig::default(), scale.seed);
-        let switch = calibrate_switch_detector(&adaptive, SwitchScoreConfig::default());
+        let switch = SwitchModel::calibrate(&adaptive, SwitchScoreConfig::default());
 
         let world = EncryptedWorld::build(&EncryptedEvalConfig::paper_default(scale.seed ^ 0x5EC5))
             .expect("simulated world builds");
@@ -106,7 +107,7 @@ mod tests {
         assert_eq!(ctx.adaptive.len(), 400);
         assert!(ctx.stall.selected.len() >= 4);
         assert!(ctx.representation.selected.len() >= 10);
-        assert!(ctx.switch.detector.threshold.is_finite());
+        assert!(ctx.switch.model.threshold().is_finite());
         assert_eq!(ctx.world.traces.len(), 722);
         assert!(ctx.world.reassembly_recall() > 0.9);
     }

@@ -24,8 +24,8 @@ use std::path::{Path, PathBuf};
 
 use rand::SeedableRng;
 use vqoe_core::{
-    generate_sequential_traces, generate_traces, DatasetSpec, OnlineAssessor, QoeMonitor,
-    TrainingConfig,
+    generate_sequential_traces, generate_traces, DatasetSpec, EngineConfig, IngestReport,
+    OnlineAssessor, QoeMonitor, TrainingConfig,
 };
 use vqoe_player::SessionTrace;
 use vqoe_telemetry::{
@@ -180,12 +180,12 @@ fn extract_gt(flags: &Flags) {
 
 fn train(flags: &Flags) {
     let out = flags.path("out");
-    let config = TrainingConfig {
-        cleartext_sessions: flags.num("cleartext", 4000usize),
-        adaptive_sessions: flags.num("adaptive", 1500usize),
-        seed: flags.num("seed", 2016u64),
-        ..TrainingConfig::default()
-    };
+    let config = TrainingConfig::builder()
+        .cleartext_sessions(flags.num("cleartext", 4000usize))
+        .adaptive_sessions(flags.num("adaptive", 1500usize))
+        .seed(flags.num("seed", 2016u64))
+        .build()
+        .unwrap_or_else(|e| usage(&format!("invalid training config: {e}")));
     eprintln!(
         "training on {} cleartext + {} adaptive sessions (seed {}) ...",
         config.cleartext_sessions, config.adaptive_sessions, config.seed
@@ -232,18 +232,39 @@ fn assess(flags: &Flags) {
         max_open_subscribers: flags.num("max-subscribers", 65_536usize),
         ..IngestConfig::default()
     };
-    let mut online = OnlineAssessor::with_config(monitor, ingest_cfg);
-    let mut assessments = Vec::new();
-    for e in &entries {
-        assessments.extend(online.ingest(e));
-    }
-    let report = online.into_report();
-    assessments.extend(report.assessments);
+    // `--workers N` routes through the sharded parallel engine (see
+    // `vqoe_core::engine`); without it, the streaming assessor runs the
+    // tap one entry at a time. Output is bit-identical either way (the
+    // engine ignores `--max-subscribers`: its batch walk holds one open
+    // subscriber per worker, so the cap is moot).
+    let report: IngestReport = match flags.get("workers") {
+        Some(_) => {
+            let engine_cfg = EngineConfig {
+                workers: flags.num("workers", 0usize),
+                shards: flags.num("shards", EngineConfig::default().shards),
+                queue_depth: flags.num("queue-depth", EngineConfig::default().queue_depth),
+                ..EngineConfig::default()
+            };
+            vqoe_core::AssessmentEngine::with_ingest(&monitor, engine_cfg, ingest_cfg)
+                .assess(&entries)
+        }
+        None => {
+            let mut online = OnlineAssessor::with_config(monitor, ingest_cfg);
+            let mut assessments = Vec::new();
+            for e in &entries {
+                assessments.extend(online.ingest(e));
+            }
+            let mut report = online.into_report();
+            assessments.extend(std::mem::take(&mut report.assessments));
+            report.assessments = assessments;
+            report
+        }
+    };
+    let assessments = &report.assessments;
 
-    write_jsonl(&out, &assessments).unwrap_or_else(die(&out));
+    write_jsonl(&out, assessments).unwrap_or_else(die(&out));
     let poor = assessments.iter().filter(|a| a.qoe.is_poor()).count();
     let partial = assessments.iter().filter(|a| a.partial).count();
-    let h = report.health;
     eprintln!(
         "assessed {} sessions ({} poor-QoE, {} partial) -> {}",
         assessments.len(),
@@ -251,27 +272,32 @@ fn assess(flags: &Flags) {
         partial,
         out.display()
     );
-    eprintln!(
-        "stream health: {} entries seen, {} reordered, {} duplicated, \
-         {} quarantined, {} subscribers evicted, {} partial sessions",
-        h.entries_seen,
-        h.entries_reordered,
-        h.entries_duplicated,
-        h.entries_quarantined,
-        h.sessions_evicted,
-        h.sessions_partial
-    );
-    for a in report.anomalies.kept().iter().take(5) {
+    // Stream-health details stay off stderr unless asked for, so piped
+    // output wrappers see only the one summary line.
+    if flags.flag("verbose") {
+        let h = report.health;
         eprintln!(
-            "  anomaly: subscriber {} at {}us: {:?}",
-            a.subscriber_id,
-            a.timestamp.as_micros(),
-            a.kind
+            "stream health: {} entries seen, {} reordered, {} duplicated, \
+             {} quarantined, {} subscribers evicted, {} partial sessions",
+            h.entries_seen,
+            h.entries_reordered,
+            h.entries_duplicated,
+            h.entries_quarantined,
+            h.sessions_evicted,
+            h.sessions_partial
         );
-    }
-    let total = report.anomalies.total();
-    if total > 5 {
-        eprintln!("  ... {} anomalies total", total);
+        for a in report.anomalies.kept().iter().take(5) {
+            eprintln!(
+                "  anomaly: subscriber {} at {}us: {:?}",
+                a.subscriber_id,
+                a.timestamp.as_micros(),
+                a.kind
+            );
+        }
+        let total = report.anomalies.total();
+        if total > 5 {
+            eprintln!("  ... {} anomalies total", total);
+        }
     }
 }
 
@@ -302,7 +328,13 @@ fn usage(err: &str) -> ! {
            extract-gt --weblogs FILE --out FILE\n\
            train      [--cleartext N] [--adaptive N] [--seed S] --out FILE\n\
            assess     --model FILE --weblogs FILE --out FILE\n\
-         \x20          [--chaos RATE] [--chaos-seed S] [--max-subscribers N]"
+         \x20          [--workers N] [--shards N] [--queue-depth N] [--verbose]\n\
+         \x20          [--chaos RATE] [--chaos-seed S] [--max-subscribers N]\n\
+         \n\
+         assess runs the streaming assessor by default; --workers routes\n\
+         the capture through the sharded parallel engine (0 = auto),\n\
+         with bit-identical output. --verbose adds stream-health and\n\
+         anomaly details on stderr."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

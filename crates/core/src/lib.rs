@@ -47,14 +47,21 @@
 //! Modules: [`spec`] (dataset specifications), [`generate`] (parallel
 //! trace generation), [`stall_pipeline`], [`avgrep_pipeline`],
 //! [`switch_pipeline`] (the three detectors' training/evaluation),
-//! [`encrypted`] (the §5 encrypted-traffic evaluation), [`monitor`] (the
-//! deployable operator API).
+//! [`detector`] (the unifying [`Detector`] trait), [`encrypted`] (the
+//! §5 encrypted-traffic evaluation), [`monitor`] (the deployable
+//! operator API), [`engine`] (the sharded parallel assessment engine),
+//! [`online`] (the streaming path).
+//!
+//! Downstream code that just wants "the monitor and friends" can
+//! `use vqoe_core::prelude::*;`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod avgrep_pipeline;
+pub mod detector;
 pub mod encrypted;
+pub mod engine;
 pub mod generate;
 pub mod monitor;
 pub mod online;
@@ -65,15 +72,34 @@ pub mod switch_pipeline;
 pub mod weblog_training;
 
 pub use avgrep_pipeline::{RepresentationModel, RepresentationTrainingReport};
+pub use detector::{Detector, DetectorAccuracy};
 pub use encrypted::{EncryptedEvalConfig, EncryptedWorld};
+pub use engine::{shard_of, AssessmentEngine, EngineConfig};
 pub use generate::{generate_sequential_traces, generate_traces};
-pub use monitor::{QoeMonitor, SessionAssessment, TrainingConfig};
+pub use monitor::{
+    ConfigError, QoeMonitor, SessionAssessment, TrainingConfig, TrainingConfigBuilder,
+};
 pub use online::{IngestReport, OnlineAssessor};
 pub use qoe_score::QoeScore;
 pub use spec::{DatasetSpec, DeliveryMix, ScenarioMix};
 pub use stall_pipeline::{StallModel, StallTrainingReport};
-pub use switch_pipeline::{SwitchCalibrationReport, SwitchEvalReport};
+pub use switch_pipeline::{SwitchCalibrationReport, SwitchEvalReport, SwitchModel};
 pub use weblog_training::{
     capture_cleartext_corpus, representation_dataset_from_weblogs, sessions_from_weblogs,
     stall_dataset_from_weblogs,
 };
+
+/// The one-stop import for operating the monitor: train, assess
+/// (batch, parallel or streaming), inspect health.
+pub mod prelude {
+    pub use crate::detector::{Detector, DetectorAccuracy};
+    pub use crate::engine::{AssessmentEngine, EngineConfig};
+    pub use crate::monitor::{
+        ConfigError, QoeMonitor, SessionAssessment, TrainingConfig, TrainingConfigBuilder,
+    };
+    pub use crate::online::{IngestReport, OnlineAssessor};
+    pub use crate::qoe_score::QoeScore;
+    pub use crate::{RepresentationModel, StallModel, SwitchModel};
+    pub use vqoe_features::{RqClass, SessionObs, StallClass};
+    pub use vqoe_telemetry::{IngestConfig, StreamHealth, WeblogEntry};
+}

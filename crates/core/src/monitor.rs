@@ -6,10 +6,11 @@
 //! issues in real time" (§8) — no client instrumentation, a single
 //! vantage point, encryption-proof.
 
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use vqoe_changedet::detector::{session_score, SwitchDetector};
 use vqoe_changedet::SwitchScoreConfig;
 use vqoe_features::{RqClass, SessionObs, StallClass};
 use vqoe_ml::ForestConfig;
@@ -17,12 +18,18 @@ use vqoe_simnet::time::Instant;
 use vqoe_telemetry::{reassemble_subscriber, ReassemblyConfig, WeblogEntry};
 
 use crate::avgrep_pipeline::{train_representation_detector, RepresentationModel};
+use crate::engine::{AssessmentEngine, EngineConfig};
 use crate::generate::generate_traces;
-use crate::spec::DatasetSpec;
+use crate::online::IngestReport;
+use crate::spec::{DatasetSpec, ScenarioMix};
 use crate::stall_pipeline::{train_stall_detector, StallModel};
-use crate::switch_pipeline::calibrate_switch_detector;
+use crate::switch_pipeline::SwitchModel;
 
 /// End-to-end training configuration.
+///
+/// Construct it through [`TrainingConfig::builder`], which validates
+/// the spec and returns a typed [`ConfigError`] instead of letting a
+/// degenerate corpus panic deep inside feature selection.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrainingConfig {
     /// Cleartext corpus size for the stall model (progressive-heavy mix).
@@ -35,6 +42,10 @@ pub struct TrainingConfig {
     pub forest: ForestConfig,
     /// Switch-detector scoring parameters.
     pub switch_scoring: SwitchScoreConfig,
+    /// Optional scenario-mix override applied to *both* training
+    /// corpora (`None` keeps the per-corpus presets). Must carry at
+    /// least one positive weight.
+    pub scenarios: Option<ScenarioMix>,
 }
 
 impl Default for TrainingConfig {
@@ -45,7 +56,118 @@ impl Default for TrainingConfig {
             seed: 2016,
             forest: ForestConfig::default(),
             switch_scoring: SwitchScoreConfig::default(),
+            scenarios: None,
         }
+    }
+}
+
+impl TrainingConfig {
+    /// Start building a validated training configuration.
+    pub fn builder() -> TrainingConfigBuilder {
+        TrainingConfigBuilder {
+            config: TrainingConfig::default(),
+        }
+    }
+}
+
+/// Why a [`TrainingConfigBuilder`] rejected its spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The cleartext corpus would be empty — nothing to train the
+    /// stall model on.
+    ZeroCleartextSessions,
+    /// The adaptive corpus would be empty — nothing to train the
+    /// representation model on or calibrate the switch threshold with.
+    ZeroAdaptiveSessions,
+    /// A scenario-mix override carried no positive weight, so no class
+    /// of sessions could ever be sampled.
+    EmptyScenarioMix,
+    /// The Random Forest would have zero trees.
+    ZeroForestTrees,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCleartextSessions => {
+                write!(f, "cleartext_sessions must be at least 1")
+            }
+            ConfigError::ZeroAdaptiveSessions => {
+                write!(f, "adaptive_sessions must be at least 1")
+            }
+            ConfigError::EmptyScenarioMix => {
+                write!(f, "scenario mix has no positive weight (empty class mix)")
+            }
+            ConfigError::ZeroForestTrees => write!(f, "forest.n_trees must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`TrainingConfig`]; see
+/// [`TrainingConfig::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingConfigBuilder {
+    config: TrainingConfig,
+}
+
+impl TrainingConfigBuilder {
+    /// Cleartext corpus size for the stall model.
+    pub fn cleartext_sessions(mut self, n: usize) -> Self {
+        self.config.cleartext_sessions = n;
+        self
+    }
+
+    /// Adaptive corpus size for the representation and switch models.
+    pub fn adaptive_sessions(mut self, n: usize) -> Self {
+        self.config.adaptive_sessions = n;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Random Forest hyperparameters.
+    pub fn forest(mut self, forest: ForestConfig) -> Self {
+        self.config.forest = forest;
+        self
+    }
+
+    /// Switch-detector scoring parameters.
+    pub fn switch_scoring(mut self, scoring: SwitchScoreConfig) -> Self {
+        self.config.switch_scoring = scoring;
+        self
+    }
+
+    /// Override the scenario mix of both training corpora.
+    pub fn scenario_mix(mut self, mix: ScenarioMix) -> Self {
+        self.config.scenarios = Some(mix);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<TrainingConfig, ConfigError> {
+        let c = &self.config;
+        if c.cleartext_sessions == 0 {
+            return Err(ConfigError::ZeroCleartextSessions);
+        }
+        if c.adaptive_sessions == 0 {
+            return Err(ConfigError::ZeroAdaptiveSessions);
+        }
+        if c.forest.n_trees == 0 {
+            return Err(ConfigError::ZeroForestTrees);
+        }
+        if let Some(mix) = &c.scenarios {
+            let total = mix.static_home + mix.static_office + mix.commuting + mix.congested;
+            if !total.is_finite() || total <= 0.0 {
+                return Err(ConfigError::EmptyScenarioMix);
+            }
+        }
+        Ok(self.config)
     }
 }
 
@@ -82,7 +204,7 @@ pub struct QoeMonitor {
     /// The §4.2 average-representation classifier.
     pub representation_model: RepresentationModel,
     /// The §4.3 switch detector (frozen threshold).
-    pub switch_detector: SwitchDetector,
+    pub switch_model: SwitchModel,
     /// Reassembly parameters for encrypted streams.
     pub reassembly: ReassemblyConfig,
 }
@@ -92,14 +214,16 @@ impl QoeMonitor {
     /// paper's "use the insights and the ground truth from the
     /// non-encrypted traffic" phase.
     pub fn train(config: &TrainingConfig) -> QoeMonitor {
-        let cleartext = generate_traces(&DatasetSpec::cleartext_default(
-            config.cleartext_sessions,
-            config.seed,
-        ));
-        let adaptive = generate_traces(&DatasetSpec::adaptive_default(
-            config.adaptive_sessions,
-            config.seed ^ 0xADA7,
-        ));
+        let mut cleartext_spec =
+            DatasetSpec::cleartext_default(config.cleartext_sessions, config.seed);
+        let mut adaptive_spec =
+            DatasetSpec::adaptive_default(config.adaptive_sessions, config.seed ^ 0xADA7);
+        if let Some(mix) = config.scenarios {
+            cleartext_spec.scenarios = mix;
+            adaptive_spec.scenarios = mix;
+        }
+        let cleartext = generate_traces(&cleartext_spec);
+        let adaptive = generate_traces(&adaptive_spec);
 
         // The stall model trains on the union of both corpora. The paper
         // trains it on "the entire dataset" (§3.1) whose 390 k sessions
@@ -111,12 +235,12 @@ impl QoeMonitor {
         stall_corpus.extend(adaptive.iter().cloned());
         let stall = train_stall_detector(&stall_corpus, config.forest, config.seed);
         let rep = train_representation_detector(&adaptive, config.forest, config.seed);
-        let switch = calibrate_switch_detector(&adaptive, config.switch_scoring);
+        let switch = SwitchModel::calibrate(&adaptive, config.switch_scoring);
 
         QoeMonitor {
             stall_model: stall.model,
             representation_model: rep.model,
-            switch_detector: switch.detector,
+            switch_model: switch.model,
             reassembly: ReassemblyConfig::default(),
         }
     }
@@ -128,10 +252,10 @@ impl QoeMonitor {
         start: Instant,
         end: Instant,
     ) -> SessionAssessment {
-        let score = session_score(&obs.chunk_points(), &self.switch_detector.config);
+        let score = self.switch_model.score(obs);
         let stall = self.stall_model.predict(obs);
         let representation = self.representation_model.predict(obs);
-        let has_quality_switches = score > self.switch_detector.threshold;
+        let has_quality_switches = score > self.switch_model.threshold();
         SessionAssessment {
             start,
             end,
@@ -159,6 +283,14 @@ impl QoeMonitor {
                 self.assess_session(&obs, session.start, session.end)
             })
             .collect()
+    }
+
+    /// Assess a whole tap capture (any mix of subscribers, in arrival
+    /// order) on the sharded parallel engine. Bit-identical to feeding
+    /// the capture through an [`OnlineAssessor`](crate::OnlineAssessor)
+    /// entry by entry, at any worker count — see [`crate::engine`].
+    pub fn assess_corpus(&self, entries: &[WeblogEntry], config: &EngineConfig) -> IngestReport {
+        AssessmentEngine::new(self, *config).assess(entries)
     }
 
     /// Serialize the trained monitor to JSON (model shipping).
@@ -232,8 +364,83 @@ mod tests {
         for a in monitor.assess_subscriber(&world.entries) {
             assert_eq!(
                 a.has_quality_switches,
-                a.switch_score > monitor.switch_detector.threshold
+                a.switch_score > monitor.switch_model.threshold()
             );
         }
+    }
+
+    #[test]
+    fn builder_round_trips_the_field_poking_construction() {
+        let poked = tiny_config();
+        let built = TrainingConfig::builder()
+            .cleartext_sessions(250)
+            .adaptive_sessions(150)
+            .seed(51)
+            .build()
+            .expect("valid config");
+        assert_eq!(poked, built);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_specs_with_typed_errors() {
+        assert_eq!(
+            TrainingConfig::builder().cleartext_sessions(0).build(),
+            Err(ConfigError::ZeroCleartextSessions)
+        );
+        assert_eq!(
+            TrainingConfig::builder().adaptive_sessions(0).build(),
+            Err(ConfigError::ZeroAdaptiveSessions)
+        );
+        assert_eq!(
+            TrainingConfig::builder()
+                .forest(ForestConfig {
+                    n_trees: 0,
+                    ..ForestConfig::default()
+                })
+                .build(),
+            Err(ConfigError::ZeroForestTrees)
+        );
+        let empty = ScenarioMix {
+            static_home: 0.0,
+            static_office: 0.0,
+            commuting: 0.0,
+            congested: 0.0,
+        };
+        let err = TrainingConfig::builder()
+            .scenario_mix(empty)
+            .build()
+            .expect_err("empty class mix must be rejected");
+        assert_eq!(err, ConfigError::EmptyScenarioMix);
+        assert!(err.to_string().contains("empty class mix"));
+    }
+
+    #[test]
+    fn scenario_mix_override_reaches_training_and_stays_deterministic() {
+        let mix = ScenarioMix {
+            static_home: 1.0,
+            static_office: 0.0,
+            commuting: 0.0,
+            congested: 0.0,
+        };
+        let cfg = TrainingConfig::builder()
+            .cleartext_sessions(120)
+            .adaptive_sessions(80)
+            .seed(54)
+            .scenario_mix(mix)
+            .build()
+            .expect("valid config");
+        let a = QoeMonitor::train(&cfg);
+        let b = QoeMonitor::train(&cfg);
+        assert_eq!(a, b);
+        // The override changes the corpus, hence the trained models.
+        let preset = QoeMonitor::train(
+            &TrainingConfig::builder()
+                .cleartext_sessions(120)
+                .adaptive_sessions(80)
+                .seed(54)
+                .build()
+                .expect("valid config"),
+        );
+        assert_ne!(a, preset);
     }
 }

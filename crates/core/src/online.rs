@@ -19,6 +19,17 @@
 //! with [`SessionAssessment::partial`] set. Everything the layer
 //! absorbed is reported through [`StreamHealth`] and the typed
 //! [`AnomalyLog`].
+//!
+//! Since the engine PR, subscriber state is partitioned onto
+//! [`EngineConfig::shards`](crate::engine::EngineConfig) shards by the
+//! same [`shard_of`](crate::engine::shard_of) hash the parallel batch
+//! engine uses, and health counters accumulate per shard. That makes
+//! the streaming path the single-threaded projection of the sharded
+//! engine: [`AssessmentEngine::assess`](crate::engine::AssessmentEngine)
+//! over a capture produces a bit-identical [`IngestReport`] — same
+//! assessments in the same order, same per-shard health, same anomaly
+//! log. Eviction (the memory cap) stays *global* across shards, exactly
+//! as before.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -30,6 +41,7 @@ use vqoe_telemetry::{
     StreamHealth, WeblogEntry,
 };
 
+use crate::engine::{shard_of, EngineConfig};
 use crate::monitor::{QoeMonitor, SessionAssessment};
 
 /// Everything a closed tap run produced: the assessments plus the
@@ -38,10 +50,24 @@ use crate::monitor::{QoeMonitor, SessionAssessment};
 pub struct IngestReport {
     /// All emitted assessments, in emission order.
     pub assessments: Vec<SessionAssessment>,
-    /// Final health counters.
+    /// Final health counters (the sum over `shard_health`).
     pub health: StreamHealth,
+    /// Health counters per shard, indexed by shard id — the operator's
+    /// view of whether degradation is tap-wide or localized to a slice
+    /// of the subscriber space.
+    pub shard_health: Vec<StreamHealth>,
     /// The quarantine log (bounded, with an exact total).
     pub anomalies: AnomalyLog,
+}
+
+/// One shard's streaming state: the subscribers hashed onto it and the
+/// health its entries accumulated.
+#[derive(Debug, Clone, Default)]
+struct ShardState {
+    // BTreeMap, not HashMap: `finish` walks these maps, and assessments
+    // must come out in a stable (subscriber-id) order run after run.
+    per_subscriber: BTreeMap<u64, RobustReassembler>,
+    health: StreamHealth,
 }
 
 /// A streaming wrapper over a trained [`QoeMonitor`].
@@ -49,15 +75,16 @@ pub struct IngestReport {
 pub struct OnlineAssessor {
     monitor: QoeMonitor,
     ingest_cfg: IngestConfig,
-    // BTreeMap, not HashMap: `finish` walks this map, and assessments
-    // must come out in a stable (subscriber-id) order run after run.
-    // Bounded: `admit` evicts the least-recently-active subscriber
-    // whenever the map would exceed `ingest_cfg.max_open_subscribers`.
-    per_subscriber: BTreeMap<u64, RobustReassembler>,
+    /// Subscriber state, partitioned by [`shard_of`]. Bounded globally:
+    /// `ingest` evicts the least-recently-active subscriber (across all
+    /// shards) whenever `tracked` would exceed
+    /// `ingest_cfg.max_open_subscribers`.
+    shards: Vec<ShardState>,
     /// Eviction index: (activity watermark, subscriber id), oldest
-    /// first. Mirrors `per_subscriber` exactly.
+    /// first. Global — it mirrors the union of all shard maps.
     lru: BTreeSet<(Instant, u64)>,
-    health: StreamHealth,
+    /// Total subscribers currently tracked across all shards.
+    tracked: usize,
     anomalies: AnomalyLog,
 }
 
@@ -69,13 +96,27 @@ impl OnlineAssessor {
 
     /// Wrap a trained monitor with explicit hardening parameters.
     pub fn with_config(monitor: QoeMonitor, ingest_cfg: IngestConfig) -> Self {
+        OnlineAssessor::with_engine(monitor, ingest_cfg, EngineConfig::default())
+    }
+
+    /// Wrap a trained monitor with explicit hardening parameters and an
+    /// explicit shard layout (only [`EngineConfig::shards`] matters to
+    /// the streaming path; worker count and queue depth are batch-engine
+    /// knobs).
+    pub fn with_engine(
+        monitor: QoeMonitor,
+        ingest_cfg: IngestConfig,
+        engine_cfg: EngineConfig,
+    ) -> Self {
         OnlineAssessor {
             monitor,
             anomalies: AnomalyLog::new(ingest_cfg.max_anomalies_kept),
             ingest_cfg,
-            per_subscriber: BTreeMap::new(),
+            shards: (0..engine_cfg.shards.max(1))
+                .map(|_| ShardState::default())
+                .collect(),
             lru: BTreeSet::new(),
-            health: StreamHealth::default(),
+            tracked: 0,
         }
     }
 
@@ -89,9 +130,19 @@ impl OnlineAssessor {
         &self.ingest_cfg
     }
 
-    /// Health counters accumulated so far (monotone).
+    /// Health counters accumulated so far (monotone; summed over
+    /// shards).
     pub fn health(&self) -> StreamHealth {
-        self.health
+        let mut total = StreamHealth::default();
+        for s in &self.shards {
+            total.absorb(&s.health);
+        }
+        total
+    }
+
+    /// Health counters per shard, indexed by shard id.
+    pub fn shard_health(&self) -> Vec<StreamHealth> {
+        self.shards.iter().map(|s| s.health).collect()
     }
 
     /// The quarantine log accumulated so far.
@@ -104,13 +155,17 @@ impl OnlineAssessor {
     /// closes a session, several when it forces an eviction whose
     /// flushed stream contained complete sessions.
     pub fn ingest(&mut self, entry: &WeblogEntry) -> Vec<SessionAssessment> {
-        self.health.entries_seen += 1;
+        let shard = shard_of(entry.subscriber_id, self.shards.len());
+        self.shards[shard].health.entries_seen += 1;
         let mut out = Vec::new();
-        if !self.per_subscriber.contains_key(&entry.subscriber_id) {
+        if !self.shards[shard]
+            .per_subscriber
+            .contains_key(&entry.subscriber_id)
+        {
             // Quarantine malformed records and drop non-service noise
             // *before* a tracking slot is spent on the subscriber.
             if let Some(kind) = validate_entry(entry, &self.ingest_cfg) {
-                self.health.entries_quarantined += 1;
+                self.shards[shard].health.entries_quarantined += 1;
                 self.anomalies.record(IngestAnomaly {
                     subscriber_id: entry.subscriber_id,
                     timestamp: entry.timestamp,
@@ -121,21 +176,23 @@ impl OnlineAssessor {
             if !entry.is_service_host() {
                 return out;
             }
-            while self.per_subscriber.len() >= self.ingest_cfg.max_open_subscribers.max(1) {
-                let before = self.per_subscriber.len();
+            while self.tracked >= self.ingest_cfg.max_open_subscribers.max(1) {
+                let before = self.tracked;
                 out.extend(self.evict_oldest());
-                if self.per_subscriber.len() == before {
+                if self.tracked == before {
                     break;
                 }
             }
-            self.per_subscriber.insert(
+            self.shards[shard].per_subscriber.insert(
                 entry.subscriber_id,
                 RobustReassembler::new(self.monitor.reassembly, self.ingest_cfg),
             );
+            self.tracked += 1;
         }
-        if let Some(machine) = self.per_subscriber.get_mut(&entry.subscriber_id) {
+        let shard_state = &mut self.shards[shard];
+        if let Some(machine) = shard_state.per_subscriber.get_mut(&entry.subscriber_id) {
             let before = machine.watermark();
-            let sessions = machine.push(entry, &mut self.health, &mut self.anomalies);
+            let sessions = machine.push(entry, &mut shard_state.health, &mut self.anomalies);
             let after = machine.watermark();
             if before != after {
                 if let Some(w) = before {
@@ -158,12 +215,13 @@ impl OnlineAssessor {
     }
 
     /// Close all open streams and return assessments together with the
-    /// final [`StreamHealth`] and [`AnomalyLog`].
+    /// final [`StreamHealth`] (global and per shard) and [`AnomalyLog`].
     pub fn into_report(mut self) -> IngestReport {
         let assessments = self.drain();
         IngestReport {
             assessments,
-            health: self.health,
+            health: self.health(),
+            shard_health: self.shard_health(),
             anomalies: self.anomalies,
         }
     }
@@ -171,36 +229,47 @@ impl OnlineAssessor {
     /// Number of subscribers with an open session group or buffered
     /// entries. Bounded by [`IngestConfig::max_open_subscribers`].
     pub fn open_subscribers(&self) -> usize {
-        self.per_subscriber
-            .values()
+        self.shards
+            .iter()
+            .flat_map(|s| s.per_subscriber.values())
             .filter(|m| m.open_entries() > 0)
             .count()
     }
 
-    /// Force-close the least-recently-active subscriber and assess its
-    /// remains as partial sessions.
+    /// Force-close the least-recently-active subscriber (across all
+    /// shards) and assess its remains as partial sessions.
     fn evict_oldest(&mut self) -> Vec<SessionAssessment> {
         let Some(&(w, id)) = self.lru.iter().next() else {
             return Vec::new();
         };
         self.lru.remove(&(w, id));
-        let Some(mut machine) = self.per_subscriber.remove(&id) else {
+        let shard = shard_of(id, self.shards.len());
+        let shard_state = &mut self.shards[shard];
+        let Some(mut machine) = shard_state.per_subscriber.remove(&id) else {
             return Vec::new();
         };
-        self.health.sessions_evicted += 1;
+        self.tracked -= 1;
+        shard_state.health.sessions_evicted += 1;
         let sessions = machine.flush();
-        self.health.sessions_partial += sessions.len() as u64;
+        shard_state.health.sessions_partial += sessions.len() as u64;
         sessions.iter().map(|s| self.assess(s, true)).collect()
     }
 
     fn drain(&mut self) -> Vec<SessionAssessment> {
         self.lru.clear();
-        let machines: Vec<RobustReassembler> = std::mem::take(&mut self.per_subscriber)
-            .into_values()
+        self.tracked = 0;
+        // Subscriber-id order across all shards, exactly as the
+        // pre-shard single map walked it (and exactly the order the
+        // parallel engine's phase-1 emission keys reproduce).
+        let mut machines: Vec<(u64, RobustReassembler)> = self
+            .shards
+            .iter_mut()
+            .flat_map(|s| std::mem::take(&mut s.per_subscriber))
             .collect();
+        machines.sort_by_key(|&(id, _)| id);
         machines
             .into_iter()
-            .flat_map(|m| m.finish())
+            .flat_map(|(_, m)| m.finish())
             .map(|s| self.assess(&s, false))
             .collect()
     }
@@ -362,5 +431,38 @@ mod tests {
         assert_eq!(partials.len() as u64, health.sessions_partial);
         // Both subscribers' complete sessions still got assessed.
         assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn shard_health_sums_to_the_global_counters() {
+        let monitor = trained();
+        let w1 = world(3, 78);
+        let mut w2 = world(3, 79);
+        for e in &mut w2.entries {
+            e.subscriber_id = 41;
+        }
+        let mut merged: Vec<_> = w1
+            .entries
+            .iter()
+            .chain(w2.entries.iter())
+            .cloned()
+            .collect();
+        merged.sort_by_key(|e| e.timestamp);
+        let mut online = OnlineAssessor::new(monitor);
+        for e in &merged {
+            online.ingest(e);
+        }
+        let per_shard = online.shard_health();
+        let global = online.health();
+        let mut summed = StreamHealth::default();
+        for h in &per_shard {
+            summed.absorb(h);
+        }
+        assert_eq!(summed, global);
+        // Two subscribers in different shards: entries split across
+        // (at least) two shard counters.
+        let active = per_shard.iter().filter(|h| h.entries_seen > 0).count();
+        assert!(active >= 1);
+        assert_eq!(global.entries_seen, merged.len() as u64);
     }
 }

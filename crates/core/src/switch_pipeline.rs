@@ -1,6 +1,11 @@
 //! The §4.3 representation-switch pipeline: score every adaptive
 //! session, calibrate the σ(CUSUM) threshold on cleartext ground truth
 //! (Figure 4), freeze it, and evaluate on new data (§5.6).
+//!
+//! The calibrated artifact is a [`SwitchModel`] — the same
+//! train-once / apply-frozen shape as the two Random-Forest detectors,
+//! so all three plug into the [`Detector`](crate::detector::Detector)
+//! trait.
 
 use serde::{Deserialize, Serialize};
 use vqoe_changedet::detector::{calibrate_threshold, session_score, SwitchDetector};
@@ -9,12 +14,115 @@ use vqoe_features::labels::has_switches;
 use vqoe_features::SessionObs;
 use vqoe_player::SessionTrace;
 
-/// Calibration outputs: the frozen detector plus the two score
+/// A calibrated, deployable switch detector: the frozen σ(CUSUM)
+/// threshold plus the scoring parameters it was calibrated with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchModel {
+    /// The frozen threshold/scoring pair (the paper's "500").
+    pub detector: SwitchDetector,
+}
+
+impl SwitchModel {
+    /// Wrap an already-calibrated detector.
+    pub fn new(detector: SwitchDetector) -> Self {
+        SwitchModel { detector }
+    }
+
+    /// The frozen score threshold.
+    pub fn threshold(&self) -> f64 {
+        self.detector.threshold
+    }
+
+    /// The scoring parameters the threshold was calibrated with.
+    pub fn scoring(&self) -> &SwitchScoreConfig {
+        &self.detector.config
+    }
+
+    /// The session score `σ(CUSUM(Δsize × Δt))` of eq. 3 for one
+    /// session's network-visible observations.
+    pub fn score(&self, obs: &SessionObs) -> f64 {
+        session_score(&obs.chunk_points(), &self.detector.config)
+    }
+
+    /// Score one session and compare against the frozen threshold.
+    pub fn detect(&self, obs: &SessionObs) -> bool {
+        self.score(obs) > self.detector.threshold
+    }
+
+    /// Score the adaptive sessions of a corpus and calibrate the
+    /// threshold (the Figure-4 procedure).
+    pub fn calibrate(
+        traces: &[SessionTrace],
+        config: SwitchScoreConfig,
+    ) -> SwitchCalibrationReport {
+        let mut scores_without = Vec::new();
+        let mut scores_with = Vec::new();
+        for t in traces {
+            if !t.config.delivery.is_adaptive() {
+                continue;
+            }
+            let obs = SessionObs::from_trace(t);
+            let score = session_score(&obs.chunk_points(), &config);
+            if has_switches(&t.ground_truth) {
+                scores_with.push(score);
+            } else {
+                scores_without.push(score);
+            }
+        }
+        let (detector, acc_without, acc_with) =
+            calibrate_threshold(&scores_without, &scores_with, config);
+        SwitchCalibrationReport {
+            model: SwitchModel::new(detector),
+            acc_without,
+            acc_with,
+            scores_without,
+            scores_with,
+        }
+    }
+
+    /// Apply the frozen model to labelled sessions (§5.6).
+    pub fn evaluate_labelled(&self, sessions: &[(SessionObs, bool)]) -> SwitchEvalReport {
+        let mut ok_without = 0usize;
+        let mut n_without = 0usize;
+        let mut ok_with = 0usize;
+        let mut n_with = 0usize;
+        for (obs, truly_switching) in sessions {
+            let detected = self.detect(obs);
+            if *truly_switching {
+                n_with += 1;
+                if detected {
+                    ok_with += 1;
+                }
+            } else {
+                n_without += 1;
+                if !detected {
+                    ok_without += 1;
+                }
+            }
+        }
+        SwitchEvalReport {
+            acc_without: if n_without > 0 {
+                ok_without as f64 / n_without as f64
+            } else {
+                0.0
+            },
+            acc_with: if n_with > 0 {
+                ok_with as f64 / n_with as f64
+            } else {
+                0.0
+            },
+            n_without,
+            n_with,
+        }
+    }
+}
+
+/// Calibration outputs: the frozen model plus the two score
 /// populations behind Figure 4.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SwitchCalibrationReport {
-    /// The calibrated, frozen detector.
-    pub detector: SwitchDetector,
+    /// The calibrated, frozen model.
+    pub model: SwitchModel,
     /// Fraction of no-switch sessions below the threshold (paper: 78 %).
     pub acc_without: f64,
     /// Fraction of with-switch sessions above the threshold (paper: 76 %).
@@ -25,38 +133,7 @@ pub struct SwitchCalibrationReport {
     pub scores_with: Vec<f64>,
 }
 
-/// Score the adaptive sessions of a corpus and calibrate the detector
-/// threshold (the Figure-4 procedure).
-pub fn calibrate_switch_detector(
-    traces: &[SessionTrace],
-    config: SwitchScoreConfig,
-) -> SwitchCalibrationReport {
-    let mut scores_without = Vec::new();
-    let mut scores_with = Vec::new();
-    for t in traces {
-        if !t.config.delivery.is_adaptive() {
-            continue;
-        }
-        let obs = SessionObs::from_trace(t);
-        let score = session_score(&obs.chunk_points(), &config);
-        if has_switches(&t.ground_truth) {
-            scores_with.push(score);
-        } else {
-            scores_without.push(score);
-        }
-    }
-    let (detector, acc_without, acc_with) =
-        calibrate_threshold(&scores_without, &scores_with, config);
-    SwitchCalibrationReport {
-        detector,
-        acc_without,
-        acc_with,
-        scores_without,
-        scores_with,
-    }
-}
-
-/// Evaluation of a frozen detector on labelled sessions (§5.6).
+/// Evaluation of a frozen model on labelled sessions (§5.6).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SwitchEvalReport {
     /// Fraction of no-switch sessions correctly kept below threshold.
@@ -67,45 +144,6 @@ pub struct SwitchEvalReport {
     pub n_without: usize,
     /// Number of with-switch sessions evaluated.
     pub n_with: usize,
-}
-
-/// Apply a frozen detector to labelled sessions.
-pub fn evaluate_switch_detector(
-    detector: &SwitchDetector,
-    sessions: &[(SessionObs, bool)],
-) -> SwitchEvalReport {
-    let mut ok_without = 0usize;
-    let mut n_without = 0usize;
-    let mut ok_with = 0usize;
-    let mut n_with = 0usize;
-    for (obs, truly_switching) in sessions {
-        let detected = detector.detect(&obs.chunk_points());
-        if *truly_switching {
-            n_with += 1;
-            if detected {
-                ok_with += 1;
-            }
-        } else {
-            n_without += 1;
-            if !detected {
-                ok_without += 1;
-            }
-        }
-    }
-    SwitchEvalReport {
-        acc_without: if n_without > 0 {
-            ok_without as f64 / n_without as f64
-        } else {
-            0.0
-        },
-        acc_with: if n_with > 0 {
-            ok_with as f64 / n_with as f64
-        } else {
-            0.0
-        },
-        n_without,
-        n_with,
-    }
 }
 
 #[cfg(test)]
@@ -121,7 +159,7 @@ mod tests {
     #[test]
     fn calibration_separates_the_two_populations() {
         let traces = corpus(400, 31);
-        let report = calibrate_switch_detector(&traces, SwitchScoreConfig::default());
+        let report = SwitchModel::calibrate(&traces, SwitchScoreConfig::default());
         assert!(!report.scores_with.is_empty(), "no switching sessions");
         assert!(!report.scores_without.is_empty(), "no steady sessions");
         // The paper achieves 78 % / 76 %; require clear separation.
@@ -131,19 +169,19 @@ mod tests {
             report.acc_without
         );
         assert!(report.acc_with > 0.6, "acc with {}", report.acc_with);
-        assert!(report.detector.threshold.is_finite());
+        assert!(report.model.threshold().is_finite());
     }
 
     #[test]
-    fn frozen_detector_transfers_to_fresh_data() {
+    fn frozen_model_transfers_to_fresh_data() {
         let train = corpus(400, 32);
-        let report = calibrate_switch_detector(&train, SwitchScoreConfig::default());
+        let report = SwitchModel::calibrate(&train, SwitchScoreConfig::default());
         let fresh = corpus(200, 33);
         let sessions: Vec<(SessionObs, bool)> = fresh
             .iter()
             .map(|t| (SessionObs::from_trace(t), has_switches(&t.ground_truth)))
             .collect();
-        let eval = evaluate_switch_detector(&report.detector, &sessions);
+        let eval = report.model.evaluate_labelled(&sessions);
         assert!(eval.n_with + eval.n_without == 200);
         let balanced = (eval.acc_with + eval.acc_without) / 2.0;
         assert!(balanced > 0.55, "balanced accuracy {balanced}");
@@ -151,8 +189,8 @@ mod tests {
 
     #[test]
     fn empty_evaluation_degenerates() {
-        let report = calibrate_switch_detector(&[], SwitchScoreConfig::default());
-        let eval = evaluate_switch_detector(&report.detector, &[]);
+        let report = SwitchModel::calibrate(&[], SwitchScoreConfig::default());
+        let eval = report.model.evaluate_labelled(&[]);
         assert_eq!(eval.n_with, 0);
         assert_eq!(eval.n_without, 0);
         assert_eq!(eval.acc_with, 0.0);
@@ -161,8 +199,8 @@ mod tests {
     #[test]
     fn calibration_is_deterministic() {
         let traces = corpus(150, 34);
-        let a = calibrate_switch_detector(&traces, SwitchScoreConfig::default());
-        let b = calibrate_switch_detector(&traces, SwitchScoreConfig::default());
+        let a = SwitchModel::calibrate(&traces, SwitchScoreConfig::default());
+        let b = SwitchModel::calibrate(&traces, SwitchScoreConfig::default());
         assert_eq!(a, b);
     }
 }

@@ -124,6 +124,20 @@ impl AnomalyLog {
         }
     }
 
+    /// Rebuild a log from an already-merged record list and an exact
+    /// total. Used by parallel reducers that merge several per-shard
+    /// logs into the record order a sequential run would have produced;
+    /// `kept` is truncated to `cap`, `total` is taken as-is.
+    pub fn from_parts(cap: usize, mut kept: Vec<IngestAnomaly>, total: u64) -> Self {
+        kept.truncate(cap);
+        AnomalyLog { kept, total, cap }
+    }
+
+    /// The retention cap this log was built with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
     /// The retained anomaly records, oldest first.
     pub fn kept(&self) -> &[IngestAnomaly] {
         &self.kept
@@ -153,6 +167,18 @@ pub struct StreamHealth {
 }
 
 impl StreamHealth {
+    /// Fold another counter set into this one. Every counter is a
+    /// monotone sum, so per-shard healths merge into exactly the
+    /// numbers a sequential run over the union stream would report.
+    pub fn absorb(&mut self, other: &StreamHealth) {
+        self.entries_seen += other.entries_seen;
+        self.entries_reordered += other.entries_reordered;
+        self.entries_duplicated += other.entries_duplicated;
+        self.entries_quarantined += other.entries_quarantined;
+        self.sessions_evicted += other.sessions_evicted;
+        self.sessions_partial += other.sessions_partial;
+    }
+
     /// Sum of all counters — a cheap monotonicity witness for tests.
     pub fn total_events(&self) -> u64 {
         self.entries_seen

@@ -12,11 +12,12 @@ use vqoe_features::{rq_label, stall_label, SessionObs};
 
 fn main() {
     println!("training the monitor ...");
-    let monitor = QoeMonitor::train(&TrainingConfig {
-        cleartext_sessions: 3_000,
-        adaptive_sessions: 1_200,
-        ..TrainingConfig::default()
-    });
+    let config = TrainingConfig::builder()
+        .cleartext_sessions(3_000)
+        .adaptive_sessions(1_200)
+        .build()
+        .expect("valid training config");
+    let monitor = QoeMonitor::train(&config);
 
     println!("building the encrypted evaluation world (722 sessions) ...\n");
     let mut config = EncryptedEvalConfig::paper_default(99);

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Throughput harness for the sharded parallel assessment engine.
+#
+#   scripts/bench.sh          # quick mode: engine-scaling experiment only
+#   scripts/bench.sh --full   # also run the Criterion perf benches
+#
+# Quick mode builds release, runs the `engine-scaling` repro experiment
+# at its quick harness point (smoke-scale training context), and leaves
+#   results/engine-scaling.txt   human-readable report
+#   BENCH_pr3.json               machine-readable record (speedup_4v1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL=0
+if [[ "${1:-}" == "--full" ]]; then
+  FULL=1
+fi
+
+echo "==> cargo build --release -p vqoe-bench"
+cargo build --release -p vqoe-bench
+
+echo "==> repro engine-scaling (quick mode)"
+mkdir -p results
+./target/release/repro engine-scaling --smoke \
+  --bench-json BENCH_pr3.json --out results
+
+echo "==> BENCH_pr3.json"
+cat BENCH_pr3.json
+
+if [[ "$FULL" == "1" ]]; then
+  echo "==> cargo bench -p vqoe-bench (Criterion)"
+  cargo bench -p vqoe-bench
+fi
+
+echo "bench done"

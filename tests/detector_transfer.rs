@@ -5,8 +5,7 @@
 use vqoe_changedet::SwitchScoreConfig;
 use vqoe_core::avgrep_pipeline::train_representation_detector;
 use vqoe_core::stall_pipeline::train_stall_detector;
-use vqoe_core::switch_pipeline::{calibrate_switch_detector, evaluate_switch_detector};
-use vqoe_core::{generate_traces, DatasetSpec};
+use vqoe_core::{generate_traces, DatasetSpec, SwitchModel};
 use vqoe_features::labels::has_switches;
 use vqoe_features::SessionObs;
 use vqoe_ml::ForestConfig;
@@ -54,14 +53,14 @@ fn representation_model_transfers_across_seeds() {
 #[test]
 fn switch_threshold_transfers_across_seeds() {
     let train_corpus = generate_traces(&DatasetSpec::adaptive_default(800, 44));
-    let calib = calibrate_switch_detector(&train_corpus, SwitchScoreConfig::default());
+    let calib = SwitchModel::calibrate(&train_corpus, SwitchScoreConfig::default());
 
     let fresh = generate_traces(&DatasetSpec::adaptive_default(400, 4444));
     let sessions: Vec<(SessionObs, bool)> = fresh
         .iter()
         .map(|t| (SessionObs::from_trace(t), has_switches(&t.ground_truth)))
         .collect();
-    let eval = evaluate_switch_detector(&calib.detector, &sessions);
+    let eval = calib.model.evaluate_labelled(&sessions);
     assert!(eval.n_with > 20, "need switching sessions");
     assert!(eval.n_without > 20, "need steady sessions");
     let balanced = (eval.acc_with + eval.acc_without) / 2.0;

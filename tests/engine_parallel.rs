@@ -1,0 +1,187 @@
+//! Parallel-engine integration tests (ISSUE 3 acceptance criteria):
+//!
+//! * the sharded [`AssessmentEngine`] is **bit-identical** to the
+//!   sequential streaming path — full [`IngestReport`] equality, not
+//!   just the assessments — at worker counts 1, 2 and 7;
+//! * the identity holds even when the tap is hostile (`ChaosTap`
+//!   faults), where ordering bugs would surface first;
+//! * all three detectors survive a JSON round trip with identical
+//!   predictions, exercised generically through the [`Detector`] trait.
+
+use std::sync::OnceLock;
+
+use vqoe_core::prelude::*;
+use vqoe_core::{generate_traces, DatasetSpec, EncryptedEvalConfig, EncryptedWorld};
+use vqoe_telemetry::{apply_chaos, ChaosConfig};
+
+fn monitor() -> &'static QoeMonitor {
+    static MONITOR: OnceLock<QoeMonitor> = OnceLock::new();
+    MONITOR.get_or_init(|| {
+        let config = TrainingConfig::builder()
+            .cleartext_sessions(250)
+            .adaptive_sessions(150)
+            .seed(83)
+            .build()
+            .expect("valid training config");
+        QoeMonitor::train(&config)
+    })
+}
+
+/// A tap shared by `subscribers` independent streams, interleaved by
+/// timestamp as the proxy would deliver them.
+fn multi_subscriber_tap(subscribers: u64, sessions: usize, seed: u64) -> Vec<WeblogEntry> {
+    let mut entries = Vec::new();
+    for s in 0..subscribers {
+        let mut cfg = EncryptedEvalConfig::paper_default(seed + s);
+        cfg.spec.n_sessions = sessions;
+        let mut world = EncryptedWorld::build(&cfg).expect("simulated world builds");
+        for e in &mut world.entries {
+            e.subscriber_id = s * 7 + 3; // non-contiguous ids exercise the hash
+        }
+        entries.extend(world.entries);
+    }
+    entries.sort_by_key(|e| e.timestamp);
+    entries
+}
+
+/// The sequential reference: every entry through an [`OnlineAssessor`]
+/// sharded the same way, with mid-stream emissions spliced before the
+/// end-of-stream drain — exactly what `vqoe assess` reports.
+fn sequential_report(
+    ingest: IngestConfig,
+    engine: EngineConfig,
+    entries: &[WeblogEntry],
+) -> IngestReport {
+    let mut online = OnlineAssessor::with_engine(monitor().clone(), ingest, engine);
+    let mut assessments = Vec::new();
+    for e in entries {
+        assessments.extend(online.ingest(e));
+    }
+    let mut report = online.into_report();
+    assessments.append(&mut report.assessments);
+    report.assessments = assessments;
+    report
+}
+
+fn engine_report(
+    ingest: IngestConfig,
+    engine: EngineConfig,
+    entries: &[WeblogEntry],
+) -> IngestReport {
+    AssessmentEngine::with_ingest(monitor(), engine, ingest).assess(entries)
+}
+
+#[test]
+fn engine_is_bit_identical_to_the_streaming_path_at_every_worker_count() {
+    let entries = multi_subscriber_tap(4, 2, 1300);
+    let ingest = IngestConfig::default();
+    for workers in [1usize, 2, 7] {
+        let cfg = EngineConfig {
+            workers,
+            shards: 16,
+            ..EngineConfig::default()
+        };
+        let sequential = sequential_report(ingest, cfg, &entries);
+        let parallel = engine_report(ingest, cfg, &entries);
+        assert_eq!(
+            parallel, sequential,
+            "engine at {workers} workers diverged from the sequential path"
+        );
+        assert!(!parallel.assessments.is_empty(), "tap produced no sessions");
+        assert_eq!(parallel.shard_health.len(), 16);
+    }
+}
+
+#[test]
+fn worker_count_never_changes_the_report() {
+    let entries = multi_subscriber_tap(5, 2, 1400);
+    let ingest = IngestConfig::default();
+    let base = EngineConfig {
+        workers: 1,
+        shards: 8,
+        ..EngineConfig::default()
+    };
+    let reference = engine_report(ingest, base, &entries);
+    for workers in [2usize, 7] {
+        let report = engine_report(ingest, EngineConfig { workers, ..base }, &entries);
+        assert_eq!(report, reference, "{workers} workers diverged from 1");
+    }
+    // Queue depth is a throughput knob, never a semantic one.
+    let deep = EngineConfig {
+        workers: 7,
+        queue_depth: 1,
+        ..base
+    };
+    assert_eq!(engine_report(ingest, deep, &entries), reference);
+}
+
+#[test]
+fn bit_identity_survives_a_hostile_tap() {
+    let entries = multi_subscriber_tap(4, 2, 1500);
+    let ingest = IngestConfig::default();
+    for seed in [21u64, 22] {
+        let (faulted, _) = apply_chaos(&entries, &ChaosConfig::uniform(0.3), seed);
+        for workers in [1usize, 7] {
+            let cfg = EngineConfig {
+                workers,
+                shards: 16,
+                ..EngineConfig::default()
+            };
+            let sequential = sequential_report(ingest, cfg, &faulted);
+            let parallel = engine_report(ingest, cfg, &faulted);
+            assert_eq!(
+                parallel, sequential,
+                "chaos seed {seed}, {workers} workers: engine diverged"
+            );
+            assert_eq!(parallel.health.entries_seen, faulted.len() as u64);
+        }
+    }
+}
+
+#[test]
+fn assess_corpus_is_the_engine() {
+    let entries = multi_subscriber_tap(3, 2, 1600);
+    let cfg = EngineConfig {
+        workers: 2,
+        shards: 8,
+        ..EngineConfig::default()
+    };
+    assert_eq!(
+        monitor().assess_corpus(&entries, &cfg),
+        engine_report(IngestConfig::default(), cfg, &entries),
+    );
+}
+
+/// Freeze → serialize → thaw → identical predictions, generically over
+/// the [`Detector`] trait — the code shape the unification exists for.
+fn assert_roundtrip<D>(model: &D, obs: &[SessionObs])
+where
+    D: Detector + serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(model).expect("model serializes");
+    let thawed: D = serde_json::from_str(&json).expect("model deserializes");
+    for (i, o) in obs.iter().enumerate() {
+        assert_eq!(
+            model.predict(o),
+            thawed.predict(o),
+            "{}: prediction {i} changed across the JSON round trip",
+            model.name()
+        );
+        assert_eq!(
+            model.project(o),
+            thawed.project(o),
+            "{}: projection {i} changed across the JSON round trip",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn detectors_round_trip_through_json_with_identical_predictions() {
+    let m = monitor();
+    let eval = generate_traces(&DatasetSpec::adaptive_default(40, 1700));
+    let obs: Vec<SessionObs> = eval.iter().map(SessionObs::from_trace).collect();
+    assert_roundtrip(&m.stall_model, &obs);
+    assert_roundtrip(&m.representation_model, &obs);
+    assert_roundtrip(&m.switch_model, &obs);
+}
