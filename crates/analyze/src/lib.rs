@@ -7,7 +7,7 @@
 //! the pipeline targets operator deployment, so library code must never
 //! panic on hostile input.
 //!
-//! Five passes, each a module:
+//! Six passes, each a module:
 //!
 //! 1. [`determinism`] — no `thread_rng`, no wall-clock reads, no
 //!    `HashMap` iteration in the deterministic crates;
@@ -19,7 +19,10 @@
 //!    policy, inherits workspace dependencies, and documents itself;
 //! 5. [`bounded`] — every struct-field session table (`BTreeMap` /
 //!    `HashMap`) in the deterministic crates evicts somewhere, so a
-//!    hostile tap cannot grow resident state without bound.
+//!    hostile tap cannot grow resident state without bound;
+//! 6. [`clock`] — no raw `std::time::Instant` / `SystemTime` outside
+//!    the allowlisted non-deterministic crates: stage timing goes
+//!    through the `vqoe_obs::Clock` trait.
 //!
 //! Violations carry `file:line`, a rule id, and a message; the binary
 //! exits nonzero when any are found. A `// analyze:allow(<rule>)`
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod bounded;
+pub mod clock;
 pub mod constants;
 pub mod determinism;
 pub mod hygiene;
@@ -51,6 +55,7 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "core",
     "features",
     "ml",
+    "obs",
     "player",
     "simnet",
     "stats",
@@ -58,13 +63,14 @@ pub const DETERMINISM_CRATES: &[&str] = &[
 ];
 
 /// Crates whose non-test code must be panic-free: the deterministic
-/// eight plus this analyzer itself (it gates, so it is gated).
+/// nine plus this analyzer itself (it gates, so it is gated).
 pub const PANIC_CRATES: &[&str] = &[
     "analyze",
     "changedet",
     "core",
     "features",
     "ml",
+    "obs",
     "player",
     "simnet",
     "stats",
@@ -96,7 +102,7 @@ impl Finding {
     }
 }
 
-/// Run all five passes over the workspace at `root` and return the
+/// Run all six passes over the workspace at `root` and return the
 /// findings sorted by `(file, line, rule)`.
 pub fn run_all(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -105,6 +111,7 @@ pub fn run_all(root: &Path) -> Vec<Finding> {
     findings.extend(constants::check(root));
     findings.extend(hygiene::check(root));
     findings.extend(bounded::check(root));
+    findings.extend(clock::check(root));
     findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
     findings
 }

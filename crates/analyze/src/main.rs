@@ -1,4 +1,4 @@
-//! `vqoe-analyze` — run the five static-analysis gates over the
+//! `vqoe-analyze` — run the six static-analysis gates over the
 //! workspace and exit nonzero on any violation.
 //!
 //! ```text

@@ -1,0 +1,26 @@
+// Fixture for the raw-wall-clock pass: two violations (a SystemTime
+// read and a smuggled std::time::Instant field), one allow-marked line,
+// and deterministic look-alikes that must stay silent.
+
+pub struct Smuggled {
+    pub origin: std::time::Instant,
+}
+
+pub fn read_os_clock() -> u64 {
+    let t = SystemTime::now();
+    t.elapsed().unwrap_or_default().as_micros() as u64
+}
+
+pub struct Marked {
+    // analyze:allow(raw-wall-clock)
+    pub origin: std::time::Instant,
+}
+
+pub fn fine() {
+    // Comments mentioning SystemTime do not fire, nor do strings.
+    let _s = "std::time::Instant";
+    // The deterministic twin is legal:
+    let _i = vqoe_simnet::time::Instant::ZERO;
+    // ... and so is plain duration data:
+    std::thread::sleep(std::time::Duration::from_micros(1));
+}

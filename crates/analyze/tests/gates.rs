@@ -1,11 +1,11 @@
-//! End-to-end tests for the four gates: each fixture under
+//! End-to-end tests for the gates: each fixture under
 //! `tests/fixtures/` seeds one violation per rule, and the live
 //! workspace must come out clean (the gate gates itself).
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use vqoe_analyze::{bounded, constants, determinism, hygiene, panics, run_all, Finding};
+use vqoe_analyze::{bounded, clock, constants, determinism, hygiene, panics, run_all, Finding};
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -98,6 +98,30 @@ fn bounded_fixture_flags_only_the_evictionless_table() {
     assert!(findings[0].message.contains("`open`"));
     // `recent` (retained), `delegated` (allow-marked), the local `let`
     // map, and the #[cfg(test)] field all stayed silent.
+}
+
+#[test]
+fn clock_fixture_flags_raw_wall_clock_outside_allowlist() {
+    let findings = clock::check(&fixture("clock"));
+    let rules = rules(&findings);
+    // Two violations in the deterministic crate; the allow-marked line
+    // and every look-alike stay silent, and the bench crate is exempt
+    // despite calling both OS clocks.
+    assert_eq!(
+        rules,
+        vec!["raw-wall-clock", "raw-wall-clock"],
+        "{findings:?}"
+    );
+    assert!(findings
+        .iter()
+        .all(|f| f.file.ends_with("crates/core/src/lib.rs")));
+    assert!(findings.iter().any(|f| f.message.contains("SystemTime")));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("std::time::Instant")),
+        "{findings:?}"
+    );
 }
 
 #[test]

@@ -11,7 +11,8 @@
 
 use std::io::Write;
 use vqoe_bench::experiments::{
-    abr_comparison, engine_scaling_with, run_experiment, EngineScalingConfig, EXPERIMENTS,
+    abr_comparison, engine_scaling_with, obs_overhead_with, run_experiment, EngineScalingConfig,
+    ObsOverheadConfig, EXPERIMENTS,
 };
 use vqoe_bench::{ReproContext, ReproScale};
 
@@ -95,6 +96,12 @@ fn main() {
             abr_comparison(scale.seed, 600)
         } else if id == "engine-scaling" {
             let (txt, json) = engine_scaling_with(&ctx, EngineScalingConfig::quick());
+            if let Some(path) = &bench_json {
+                std::fs::write(path, json).expect("write --bench-json file");
+            }
+            txt
+        } else if id == "obs-overhead" {
+            let (txt, json) = obs_overhead_with(&ctx, ObsOverheadConfig::quick());
             if let Some(path) = &bench_json {
                 std::fs::write(path, json).expect("write --bench-json file");
             }

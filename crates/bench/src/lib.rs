@@ -26,6 +26,8 @@
 pub mod context;
 pub mod experiments;
 pub mod render;
+pub mod wallclock;
 
 pub use context::{ReproContext, ReproScale};
 pub use experiments::{run_experiment, EXPERIMENTS};
+pub use wallclock::WallClock;

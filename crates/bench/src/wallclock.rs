@@ -1,0 +1,69 @@
+//! The one real wall clock in the workspace.
+//!
+//! Every deterministic crate drives [`vqoe_obs::StageSpan`] with
+//! [`vqoe_obs::SimClock`] (tick counters). Benchmarks are the place
+//! where real elapsed time is the measurement, so this crate — and
+//! only this crate plus the `vqoe` CLI — is allowed to implement
+//! [`Clock`] on top of the OS monotonic clock. `vqoe-analyze`'s
+//! `raw-wall-clock` pass enforces the boundary.
+
+use vqoe_obs::Clock;
+
+/// Microseconds elapsed since construction, read from the OS
+/// monotonic clock. `is_deterministic()` is `false`, so histograms it
+/// feeds must be registered as [`vqoe_obs::MetricClass::Runtime`].
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    origin: std::time::Instant,
+}
+
+impl WallClock {
+    /// Start the clock at zero, now.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        WallClock {
+            origin: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqoe_obs::{buckets, MetricClass, Registry, StageSpan};
+
+    #[test]
+    fn wall_clock_is_monotonic_and_nondeterministic() {
+        let clock = WallClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        assert!(!clock.is_deterministic());
+    }
+
+    #[test]
+    fn wall_clock_drives_a_stage_span() {
+        let clock = WallClock::new();
+        let registry = Registry::new();
+        let hist = registry.histogram(
+            "bench_span_micros",
+            "test span",
+            MetricClass::Runtime,
+            buckets::STAGE_MICROS,
+        );
+        let span = StageSpan::start(&clock, &hist);
+        let delta = span.finish();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), delta);
+    }
+}

@@ -25,13 +25,52 @@ use std::path::{Path, PathBuf};
 use rand::SeedableRng;
 use vqoe_core::{
     generate_sequential_traces, generate_traces, DatasetSpec, EngineConfig, IngestReport,
-    OnlineAssessor, QoeMonitor, TrainingConfig,
+    OnlineAssessor, PipelineMetrics, QoeMonitor, TrainingConfig,
 };
+use vqoe_obs::{buckets, Clock, MetricClass, Registry, ReportLevel, Reporter, StageSpan};
 use vqoe_player::SessionTrace;
 use vqoe_telemetry::{
     apply_chaos, capture_session, extract_sessions, read_jsonl, write_jsonl, CaptureConfig,
     ChaosConfig, IngestConfig, WeblogEntry,
 };
+
+/// Wall-clock [`Clock`] for CLI stage timing. The `vqoe` binary is an
+/// allowlisted non-deterministic surface: its readings feed
+/// `Runtime`-class histograms only, never the stable JSON snapshot.
+/// The deterministic crates must use `vqoe_obs::SimClock` instead.
+struct WallClock {
+    origin: std::time::Instant, // analyze:allow(raw-wall-clock)
+}
+
+impl WallClock {
+    fn new() -> WallClock {
+        WallClock {
+            // analyze:allow(wall-clock) analyze:allow(raw-wall-clock)
+            origin: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+}
+
+/// Reporter level from `--quiet` / `--verbose` (quiet wins).
+fn reporter(flags: &Flags) -> Reporter {
+    Reporter::new(if flags.flag("quiet") {
+        ReportLevel::Quiet
+    } else if flags.flag("verbose") {
+        ReportLevel::Verbose
+    } else {
+        ReportLevel::Normal
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -123,7 +162,11 @@ fn generate(flags: &Flags) {
         )),
     };
     write_jsonl(&out, &traces).unwrap_or_else(die(&out));
-    eprintln!("wrote {} traces to {}", traces.len(), out.display());
+    reporter(flags).normal(&format!(
+        "wrote {} traces to {}",
+        traces.len(),
+        out.display()
+    ));
 }
 
 fn capture(flags: &Flags) {
@@ -157,12 +200,12 @@ fn capture(flags: &Flags) {
     }
     entries.sort_by_key(|e| e.timestamp);
     write_jsonl(&out, &entries).unwrap_or_else(die(&out));
-    eprintln!(
+    reporter(flags).normal(&format!(
         "wrote {} weblog entries ({}) to {}",
         entries.len(),
         if encrypted { "encrypted" } else { "cleartext" },
         out.display()
-    );
+    ));
 }
 
 fn extract_gt(flags: &Flags) {
@@ -171,11 +214,11 @@ fn extract_gt(flags: &Flags) {
     let entries: Vec<WeblogEntry> = read_jsonl(&weblogs).unwrap_or_else(die(&weblogs));
     let sessions = extract_sessions(&entries);
     write_jsonl(&out, &sessions).unwrap_or_else(die(&out));
-    eprintln!(
+    reporter(flags).normal(&format!(
         "extracted ground truth for {} sessions to {}",
         sessions.len(),
         out.display()
-    );
+    ));
 }
 
 fn train(flags: &Flags) {
@@ -186,35 +229,61 @@ fn train(flags: &Flags) {
         .seed(flags.num("seed", 2016u64))
         .build()
         .unwrap_or_else(|e| usage(&format!("invalid training config: {e}")));
-    eprintln!(
+    let report = reporter(flags);
+    report.normal(&format!(
         "training on {} cleartext + {} adaptive sessions (seed {}) ...",
         config.cleartext_sessions, config.adaptive_sessions, config.seed
-    );
+    ));
     let monitor = QoeMonitor::train(&config);
     let json = monitor.to_json().unwrap_or_else(fail("serialize model"));
     std::fs::write(&out, json).unwrap_or_else(die(&out));
-    eprintln!(
+    report.normal(&format!(
         "model written to {} (stall features: {:?})",
         out.display(),
         monitor.stall_model.selected_names
-    );
+    ));
 }
 
 fn assess(flags: &Flags) {
+    let report_to = reporter(flags);
     let model_path = flags.path("model");
     let weblogs = flags.path("weblogs");
     let out = flags.path("out");
     let chaos = flags.num("chaos", 0.0f64);
     let chaos_seed = flags.num("chaos-seed", 2016u64);
+    // `--metrics PATH` (or `-` for stdout) turns on pipeline
+    // instrumentation; the wall clock feeds Runtime-class CLI stage
+    // histograms, which the stable JSON snapshot excludes by design.
+    let metrics_path = flags.get("metrics").map(str::to_string);
+    let registry = Registry::new();
+    let metrics = metrics_path
+        .as_deref()
+        .map(|_| PipelineMetrics::register(&registry));
+    let wall = WallClock::new();
+    let stage_hist = |stage: &str| {
+        registry.histogram(
+            &format!("vqoe_core_cli_{stage}_wall_micros"),
+            "wall-clock CLI stage latency in microseconds",
+            MetricClass::Runtime,
+            buckets::STAGE_MICROS,
+        )
+    };
+
+    let read_hist = stage_hist("read");
+    let assess_hist = stage_hist("assess");
+    let write_hist = stage_hist("write");
+
+    let read_span = StageSpan::start(&wall, &read_hist);
     let json = std::fs::read_to_string(&model_path).unwrap_or_else(die(&model_path));
     let monitor = QoeMonitor::from_json(&json).unwrap_or_else(fail("parse model JSON"));
     let mut entries: Vec<WeblogEntry> = read_jsonl(&weblogs).unwrap_or_else(die(&weblogs));
+    read_span.finish();
     // Tap arrival order: all subscribers interleaved by timestamp, as
     // the operator's proxy would deliver them.
     entries.sort_by_key(|e| e.timestamp);
     if chaos > 0.0 {
         let (faulted, stats) = apply_chaos(&entries, &ChaosConfig::uniform(chaos), chaos_seed);
-        eprintln!(
+        report_to.normal(&format!(
             "chaos tap at intensity {chaos}: {} -> {} entries \
              ({} dropped, {} duplicated, {} reordered, {} corrupted, {} streams cut)",
             stats.consumed,
@@ -224,7 +293,7 @@ fn assess(flags: &Flags) {
             stats.reordered,
             stats.corrupted,
             stats.streams_cut
-        );
+        ));
         entries = faulted;
     }
 
@@ -237,6 +306,7 @@ fn assess(flags: &Flags) {
     // tap one entry at a time. Output is bit-identical either way (the
     // engine ignores `--max-subscribers`: its batch walk holds one open
     // subscriber per worker, so the cap is moot).
+    let assess_span = StageSpan::start(&wall, &assess_hist);
     let report: IngestReport = match flags.get("workers") {
         Some(_) => {
             let engine_cfg = EngineConfig {
@@ -245,11 +315,18 @@ fn assess(flags: &Flags) {
                 queue_depth: flags.num("queue-depth", EngineConfig::default().queue_depth),
                 ..EngineConfig::default()
             };
-            vqoe_core::AssessmentEngine::with_ingest(&monitor, engine_cfg, ingest_cfg)
-                .assess(&entries)
+            let mut engine =
+                vqoe_core::AssessmentEngine::with_ingest(&monitor, engine_cfg, ingest_cfg);
+            if let Some(m) = &metrics {
+                engine = engine.with_metrics(m.clone());
+            }
+            engine.assess(&entries)
         }
         None => {
             let mut online = OnlineAssessor::with_config(monitor, ingest_cfg);
+            if let Some(m) = &metrics {
+                online = online.with_metrics(m.clone());
+            }
             let mut assessments = Vec::new();
             for e in &entries {
                 assessments.extend(online.ingest(e));
@@ -260,43 +337,67 @@ fn assess(flags: &Flags) {
             report
         }
     };
+    assess_span.finish();
     let assessments = &report.assessments;
 
+    let write_span = StageSpan::start(&wall, &write_hist);
     write_jsonl(&out, assessments).unwrap_or_else(die(&out));
+    write_span.finish();
     let poor = assessments.iter().filter(|a| a.qoe.is_poor()).count();
     let partial = assessments.iter().filter(|a| a.partial).count();
-    eprintln!(
+    report_to.normal(&format!(
         "assessed {} sessions ({} poor-QoE, {} partial) -> {}",
         assessments.len(),
         poor,
         partial,
         out.display()
-    );
+    ));
     // Stream-health details stay off stderr unless asked for, so piped
     // output wrappers see only the one summary line.
-    if flags.flag("verbose") {
-        let h = report.health;
-        eprintln!(
-            "stream health: {} entries seen, {} reordered, {} duplicated, \
-             {} quarantined, {} subscribers evicted, {} partial sessions",
-            h.entries_seen,
-            h.entries_reordered,
-            h.entries_duplicated,
-            h.entries_quarantined,
-            h.sessions_evicted,
-            h.sessions_partial
-        );
-        for a in report.anomalies.kept().iter().take(5) {
-            eprintln!(
-                "  anomaly: subscriber {} at {}us: {:?}",
-                a.subscriber_id,
-                a.timestamp.as_micros(),
-                a.kind
-            );
-        }
-        let total = report.anomalies.total();
-        if total > 5 {
-            eprintln!("  ... {} anomalies total", total);
+    let h = report.health;
+    report_to.verbose(&format!(
+        "stream health: {} entries seen, {} reordered, {} duplicated, \
+         {} quarantined, {} subscribers evicted, {} partial sessions",
+        h.entries_seen,
+        h.entries_reordered,
+        h.entries_duplicated,
+        h.entries_quarantined,
+        h.sessions_evicted,
+        h.sessions_partial
+    ));
+    for a in report.anomalies.kept().iter().take(5) {
+        report_to.verbose(&format!(
+            "  anomaly: subscriber {} at {}us: {:?}",
+            a.subscriber_id,
+            a.timestamp.as_micros(),
+            a.kind
+        ));
+    }
+    let total = report.anomalies.total();
+    if total > 5 {
+        report_to.verbose(&format!("  ... {} anomalies total", total));
+    }
+
+    // Emit both exposition formats once the pipeline is done: the full
+    // Prometheus text (both metric classes) and the Stable-only JSON
+    // snapshot (byte-identical across runs and worker counts).
+    if let Some(path) = metrics_path {
+        let prom = registry.render_prometheus();
+        let snap = registry.snapshot_json();
+        if path == "-" {
+            // Tolerate a closed pipe (`vqoe ... --metrics - | head`):
+            // scrape output is best-effort, not pipeline state.
+            use std::io::Write;
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(prom.as_bytes());
+            let _ = stdout.write_all(snap.as_bytes());
+        } else {
+            std::fs::write(&path, &prom).unwrap_or_else(die(Path::new(&path)));
+            let snap_path = format!("{path}.json");
+            std::fs::write(&snap_path, &snap).unwrap_or_else(die(Path::new(&snap_path)));
+            report_to.normal(&format!(
+                "metrics written to {path} (Prometheus text) and {snap_path} (JSON snapshot)"
+            ));
         }
     }
 }
@@ -330,11 +431,15 @@ fn usage(err: &str) -> ! {
            assess     --model FILE --weblogs FILE --out FILE\n\
          \x20          [--workers N] [--shards N] [--queue-depth N] [--verbose]\n\
          \x20          [--chaos RATE] [--chaos-seed S] [--max-subscribers N]\n\
+         \x20          [--metrics PATH|-] [--quiet]\n\
          \n\
          assess runs the streaming assessor by default; --workers routes\n\
          the capture through the sharded parallel engine (0 = auto),\n\
          with bit-identical output. --verbose adds stream-health and\n\
-         anomaly details on stderr."
+         anomaly details on stderr; --quiet suppresses status lines.\n\
+         --metrics PATH writes pipeline metrics as Prometheus text to\n\
+         PATH plus a deterministic JSON snapshot to PATH.json ('-'\n\
+         prints both to stdout)."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

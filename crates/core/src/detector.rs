@@ -35,6 +35,10 @@ pub trait Detector {
     /// Predict the class of one session.
     fn predict(&self, obs: &SessionObs) -> Self::Class;
 
+    /// Stable snake_case label for one predicted class, used to build
+    /// metric names (`vqoe_core_detector_<name>_class_<label>_total`).
+    fn class_label(class: &Self::Class) -> &'static str;
+
     /// Apply the frozen detector to labelled sessions and count hits —
     /// the §5 "directly tested" protocol, class-agnostic.
     fn evaluate(&self, labelled: &[(SessionObs, Self::Class)]) -> DetectorAccuracy {
@@ -83,6 +87,14 @@ impl Detector for StallModel {
     fn predict(&self, obs: &SessionObs) -> StallClass {
         StallModel::predict(self, obs)
     }
+
+    fn class_label(class: &StallClass) -> &'static str {
+        match class {
+            StallClass::NoStalls => "no_stalls",
+            StallClass::Mild => "mild",
+            StallClass::Severe => "severe",
+        }
+    }
 }
 
 impl Detector for RepresentationModel {
@@ -99,6 +111,14 @@ impl Detector for RepresentationModel {
     fn predict(&self, obs: &SessionObs) -> RqClass {
         RepresentationModel::predict(self, obs)
     }
+
+    fn class_label(class: &RqClass) -> &'static str {
+        match class {
+            RqClass::Ld => "ld",
+            RqClass::Sd => "sd",
+            RqClass::Hd => "hd",
+        }
+    }
 }
 
 impl Detector for SwitchModel {
@@ -114,6 +134,14 @@ impl Detector for SwitchModel {
 
     fn predict(&self, obs: &SessionObs) -> bool {
         self.detect(obs)
+    }
+
+    fn class_label(class: &bool) -> &'static str {
+        if *class {
+            "switching"
+        } else {
+            "stable"
+        }
     }
 }
 

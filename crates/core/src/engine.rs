@@ -39,11 +39,13 @@ use std::sync::{Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
 use vqoe_features::SessionObs;
+use vqoe_obs::{SimClock, StageSpan};
 use vqoe_telemetry::{
-    AnomalyLog, IngestAnomaly, IngestConfig, ReassembledSession, RobustReassembler, StreamHealth,
-    WeblogEntry,
+    AnomalyKindCounts, AnomalyLog, IngestAnomaly, IngestConfig, ReassembledSession,
+    RobustReassembler, StreamHealth, WeblogEntry,
 };
 
+use crate::metrics::PipelineMetrics;
 use crate::monitor::{QoeMonitor, SessionAssessment};
 use crate::online::IngestReport;
 
@@ -130,6 +132,8 @@ struct ShardOutput {
     /// contribution to the global first-`cap` set).
     anomalies: Vec<(u64, IngestAnomaly)>,
     anomaly_total: u64,
+    /// Exact per-kind quarantine counts for this shard (not capped).
+    kinds: AnomalyKindCounts,
 }
 
 /// A bounded single-producer / multi-consumer job queue. `push` blocks
@@ -168,14 +172,26 @@ impl<T> BoundedQueue<T> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn push(&self, item: T) {
+    /// Enqueue one item, blocking while the queue is full. Returns
+    /// `true` when the push had to wait on backpressure at least once
+    /// (a scheduling-dependent signal, surfaced as a `Runtime`-class
+    /// metric only).
+    fn push(&self, item: T) -> bool {
         let mut s = self.lock();
+        let mut stalled = false;
         while s.items.len() >= self.depth {
+            stalled = true;
             s = self.writable.wait(s).unwrap_or_else(|e| e.into_inner());
         }
         s.items.push_back(item);
         drop(s);
         self.readable.notify_one();
+        stalled
+    }
+
+    /// Jobs currently waiting (racy by nature; metrics use only).
+    fn len(&self) -> usize {
+        self.lock().items.len()
     }
 
     fn pop(&self) -> Option<T> {
@@ -207,6 +223,7 @@ pub struct AssessmentEngine<'a> {
     monitor: &'a QoeMonitor,
     config: EngineConfig,
     ingest_cfg: IngestConfig,
+    metrics: Option<PipelineMetrics>,
 }
 
 impl<'a> AssessmentEngine<'a> {
@@ -225,7 +242,16 @@ impl<'a> AssessmentEngine<'a> {
             monitor,
             config,
             ingest_cfg,
+            metrics: None,
         }
+    }
+
+    /// Attach a [`PipelineMetrics`] handle bundle: workers record
+    /// per-shard-job deltas into it during [`AssessmentEngine::assess`].
+    /// The assessment output is bit-identical with or without metrics.
+    pub fn with_metrics(mut self, metrics: PipelineMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The engine configuration in effect.
@@ -272,10 +298,16 @@ impl<'a> AssessmentEngine<'a> {
             // Produce shard jobs on the calling thread; `push` blocks
             // when `queue_depth` jobs are already waiting.
             for (shard, entry_indices) in by_shard.into_iter().enumerate() {
-                queue.push(ShardJob {
+                let stalled = queue.push(ShardJob {
                     shard,
                     entry_indices,
                 });
+                if let Some(m) = &self.metrics {
+                    if stalled {
+                        m.queue_stalls.inc();
+                    }
+                    m.queue_depth.set(queue.len() as i64);
+                }
             }
             queue.close();
         })
@@ -307,7 +339,16 @@ impl<'a> AssessmentEngine<'a> {
             health: StreamHealth::default(),
             anomalies: Vec::new(),
             anomaly_total: 0,
+            kinds: AnomalyKindCounts::default(),
         };
+        // Deterministic stage timing: the worker's clock advances one
+        // tick per entry processed, so the span length is the shard's
+        // entry count — identical at any worker count.
+        let clock = SimClock::new();
+        let span = self
+            .metrics
+            .as_ref()
+            .map(|m| StageSpan::start(&clock, &m.stage_ticks));
         for (&subscriber, subscriber_indices) in &per_subscriber {
             let mut machine = RobustReassembler::new(self.monitor.reassembly, self.ingest_cfg);
             // Per-subscriber scratch log: its entries arrive in global
@@ -319,6 +360,7 @@ impl<'a> AssessmentEngine<'a> {
             for &g in subscriber_indices {
                 let e = &entries[g as usize];
                 out.health.entries_seen += 1;
+                clock.advance(1);
                 let sessions = machine.push(e, &mut out.health, &mut log);
                 for a in &log.kept()[prev_kept..] {
                     tagged.push((g as u64, *a));
@@ -334,6 +376,7 @@ impl<'a> AssessmentEngine<'a> {
                     .push(((1, subscriber, k as u32), self.assess_one(s)));
             }
             out.anomaly_total += log.total();
+            out.kinds.absorb(&log.kinds());
             // Keep the shard's anomaly memory bounded: merge this
             // subscriber's tagged records in (both lists are sorted by
             // global index) and retain only the earliest `cap`.
@@ -341,6 +384,15 @@ impl<'a> AssessmentEngine<'a> {
                 out.anomalies.extend(tagged);
                 out.anomalies.sort_by_key(|&(g, _)| g);
                 out.anomalies.truncate(cap);
+            }
+        }
+        if let Some(span) = span {
+            let ticks = span.finish();
+            if let Some(m) = &self.metrics {
+                m.shard_jobs.inc();
+                m.worker_busy_ticks.add(ticks);
+                m.observe_health_delta(&StreamHealth::default(), &out.health);
+                m.observe_kind_delta(&AnomalyKindCounts::default(), &out.kinds);
             }
         }
         out
@@ -355,16 +407,21 @@ impl<'a> AssessmentEngine<'a> {
         let mut shard_health = Vec::with_capacity(outputs.len());
         let mut anomalies: Vec<(u64, IngestAnomaly)> = Vec::new();
         let mut anomaly_total = 0u64;
+        let mut kinds = AnomalyKindCounts::default();
         for slot in outputs {
             // Every shard index was enqueued exactly once and the scope
             // joined all workers, so every slot is filled.
             // analyze:allow(expect)
             let out = slot.expect("every shard job completed");
+            if let Some(m) = &self.metrics {
+                m.reduce_merge_size.observe(out.emissions.len() as u64);
+            }
             emissions.extend(out.emissions);
             shard_health.push(out.health);
             health.absorb(&out.health);
             anomalies.extend(out.anomalies);
             anomaly_total += out.anomaly_total;
+            kinds.absorb(&out.kinds);
         }
         // Keys are unique (at most one anomaly and one emission batch
         // per entry), so an unstable sort is deterministic here.
@@ -379,14 +436,20 @@ impl<'a> AssessmentEngine<'a> {
                 cap,
                 anomalies.into_iter().map(|(_, a)| a).collect(),
                 anomaly_total,
+                kinds,
             ),
         }
     }
 
     fn assess_one(&self, session: &ReassembledSession) -> SessionAssessment {
         let obs = SessionObs::from_reassembled(session);
-        self.monitor
-            .assess_session(&obs, session.start, session.end)
+        let assessment = self
+            .monitor
+            .assess_session(&obs, session.start, session.end);
+        if let Some(m) = &self.metrics {
+            m.observe_session(session, &assessment);
+        }
+        assessment
     }
 }
 

@@ -63,6 +63,7 @@ pub mod detector;
 pub mod encrypted;
 pub mod engine;
 pub mod generate;
+pub mod metrics;
 pub mod monitor;
 pub mod online;
 pub mod qoe_score;
@@ -76,6 +77,7 @@ pub use detector::{Detector, DetectorAccuracy};
 pub use encrypted::{EncryptedEvalConfig, EncryptedWorld};
 pub use engine::{shard_of, AssessmentEngine, EngineConfig};
 pub use generate::{generate_sequential_traces, generate_traces};
+pub use metrics::PipelineMetrics;
 pub use monitor::{
     ConfigError, QoeMonitor, SessionAssessment, TrainingConfig, TrainingConfigBuilder,
 };
@@ -94,6 +96,7 @@ pub use weblog_training::{
 pub mod prelude {
     pub use crate::detector::{Detector, DetectorAccuracy};
     pub use crate::engine::{AssessmentEngine, EngineConfig};
+    pub use crate::metrics::PipelineMetrics;
     pub use crate::monitor::{
         ConfigError, QoeMonitor, SessionAssessment, TrainingConfig, TrainingConfigBuilder,
     };

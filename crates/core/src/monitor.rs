@@ -293,6 +293,22 @@ impl QoeMonitor {
         AssessmentEngine::new(self, *config).assess(entries)
     }
 
+    /// [`QoeMonitor::assess_corpus`] with a [`PipelineMetrics`] bundle
+    /// attached: the report is bit-identical, and the registry behind
+    /// `metrics` accumulates the run's ingest/engine/inference metrics.
+    ///
+    /// [`PipelineMetrics`]: crate::metrics::PipelineMetrics
+    pub fn assess_corpus_with_metrics(
+        &self,
+        entries: &[WeblogEntry],
+        config: &EngineConfig,
+        metrics: crate::metrics::PipelineMetrics,
+    ) -> IngestReport {
+        AssessmentEngine::new(self, *config)
+            .with_metrics(metrics)
+            .assess(entries)
+    }
+
     /// Serialize the trained monitor to JSON (model shipping).
     pub fn to_json(&self) -> serde_json::Result<String> {
         serde_json::to_string(self)

@@ -42,6 +42,7 @@ use vqoe_telemetry::{
 };
 
 use crate::engine::{shard_of, EngineConfig};
+use crate::metrics::PipelineMetrics;
 use crate::monitor::{QoeMonitor, SessionAssessment};
 
 /// Everything a closed tap run produced: the assessments plus the
@@ -86,6 +87,7 @@ pub struct OnlineAssessor {
     /// Total subscribers currently tracked across all shards.
     tracked: usize,
     anomalies: AnomalyLog,
+    metrics: Option<PipelineMetrics>,
 }
 
 impl OnlineAssessor {
@@ -117,7 +119,17 @@ impl OnlineAssessor {
                 .collect(),
             lru: BTreeSet::new(),
             tracked: 0,
+            metrics: None,
         }
+    }
+
+    /// Attach a [`PipelineMetrics`] handle bundle: every ingested entry
+    /// records its health/anomaly deltas, every emitted assessment its
+    /// detector classes. The assessments themselves are bit-identical
+    /// with or without metrics.
+    pub fn with_metrics(mut self, metrics: PipelineMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The wrapped monitor (e.g. to inspect its models).
@@ -157,6 +169,9 @@ impl OnlineAssessor {
     pub fn ingest(&mut self, entry: &WeblogEntry) -> Vec<SessionAssessment> {
         let shard = shard_of(entry.subscriber_id, self.shards.len());
         self.shards[shard].health.entries_seen += 1;
+        if let Some(m) = &self.metrics {
+            m.entries_seen.inc();
+        }
         let mut out = Vec::new();
         if !self.shards[shard]
             .per_subscriber
@@ -171,6 +186,10 @@ impl OnlineAssessor {
                     timestamp: entry.timestamp,
                     kind,
                 });
+                if let Some(m) = &self.metrics {
+                    m.entries_quarantined.inc();
+                    m.anomaly_kind(kind).inc();
+                }
                 return out;
             }
             if !entry.is_service_host() {
@@ -188,12 +207,26 @@ impl OnlineAssessor {
                 RobustReassembler::new(self.monitor.reassembly, self.ingest_cfg),
             );
             self.tracked += 1;
+            if let Some(m) = &self.metrics {
+                m.open_subscribers.set(self.tracked as i64);
+            }
         }
         let shard_state = &mut self.shards[shard];
         if let Some(machine) = shard_state.per_subscriber.get_mut(&entry.subscriber_id) {
             let before = machine.watermark();
+            // Snapshot health/kind counters around the push so the
+            // registry sees exactly the deltas this entry caused
+            // (`entries_seen` was already counted above).
+            let health_before = shard_state.health;
+            let kinds_before = self.anomalies.kinds();
             let sessions = machine.push(entry, &mut shard_state.health, &mut self.anomalies);
             let after = machine.watermark();
+            if let Some(m) = &self.metrics {
+                let mut health_after = shard_state.health;
+                health_after.entries_seen = health_before.entries_seen;
+                m.observe_health_delta(&health_before, &health_after);
+                m.observe_kind_delta(&kinds_before, &self.anomalies.kinds());
+            }
             if before != after {
                 if let Some(w) = before {
                     self.lru.remove(&(w, entry.subscriber_id));
@@ -252,12 +285,21 @@ impl OnlineAssessor {
         shard_state.health.sessions_evicted += 1;
         let sessions = machine.flush();
         shard_state.health.sessions_partial += sessions.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.online_evictions.inc();
+            m.sessions_evicted.inc();
+            m.sessions_partial.add(sessions.len() as u64);
+            m.open_subscribers.set(self.tracked as i64);
+        }
         sessions.iter().map(|s| self.assess(s, true)).collect()
     }
 
     fn drain(&mut self) -> Vec<SessionAssessment> {
         self.lru.clear();
         self.tracked = 0;
+        if let Some(m) = &self.metrics {
+            m.open_subscribers.set(0);
+        }
         // Subscriber-id order across all shards, exactly as the
         // pre-shard single map walked it (and exactly the order the
         // parallel engine's phase-1 emission keys reproduce).
@@ -280,6 +322,9 @@ impl OnlineAssessor {
             .monitor
             .assess_session(&obs, session.start, session.end);
         a.partial = partial;
+        if let Some(m) = &self.metrics {
+            m.observe_session(session, &a);
+        }
         a
     }
 }

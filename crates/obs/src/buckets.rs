@@ -1,0 +1,71 @@
+//! Pipeline-tuned histogram bucket boundary sets.
+//!
+//! All boundaries are inclusive upper bounds in the unit named by the
+//! constant; the +Inf overflow bucket is implicit. The sets are fixed
+//! so that exposition output is stable across versions of the code that
+//! share them.
+
+/// Video chunk payload sizes in bytes. Tuned around the paper's
+/// chunk-size feature range: audio chunks cluster below ~256 KiB,
+/// low-definition video around 1 MiB, HD segments up to tens of MiB.
+pub const CHUNK_BYTES: &[u64] = &[
+    16 * 1024,
+    64 * 1024,
+    256 * 1024,
+    1024 * 1024,
+    4 * 1024 * 1024,
+    16 * 1024 * 1024,
+    64 * 1024 * 1024,
+];
+
+/// Session durations in microseconds: 30 s up to 80 min, covering short
+/// clips through feature-length playback.
+pub const SESSION_MICROS: &[u64] = &[
+    30_000_000,
+    60_000_000,
+    150_000_000,
+    300_000_000,
+    600_000_000,
+    1_200_000_000,
+    2_400_000_000,
+    4_800_000_000,
+];
+
+/// Wall-clock stage latencies in microseconds (100 us .. 100 s), used
+/// by the non-deterministic crates (bench, CLI) only.
+pub const STAGE_MICROS: &[u64] = &[
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+];
+
+/// Deterministic work-tick spans (entries processed per stage), powers
+/// of four from 1 to 16384.
+pub const WORK_TICKS: &[u64] = &[1, 4, 16, 64, 256, 1024, 4096, 16384];
+
+/// Reduce-merge batch sizes (emissions merged per shard), powers of
+/// four from 1 to 4096.
+pub const MERGE_SIZE: &[u64] = &[1, 4, 16, 64, 256, 1024, 4096];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_bucket_sets_are_strictly_increasing() {
+        for set in [
+            CHUNK_BYTES,
+            SESSION_MICROS,
+            STAGE_MICROS,
+            WORK_TICKS,
+            MERGE_SIZE,
+        ] {
+            assert!(set.windows(2).all(|w| w[0] < w[1]), "unsorted set: {set:?}");
+            assert!(!set.is_empty());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Stage timing behind a `Clock` trait.
+//!
+//! The deterministic crates never read wall time: they drive a
+//! [`SimClock`], a tick counter advanced by work units (one tick per
+//! entry processed), so stage "latency" histograms measure work, not
+//! scheduling, and stay identical across runs and worker counts.
+//! Wall-clock `Clock` implementations are confined to `vqoe-bench` and
+//! the `vqoe` CLI binary.
+
+use crate::registry::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic clock abstraction for stage timing.
+pub trait Clock {
+    /// Current reading. Units are implementation-defined: work ticks
+    /// for [`SimClock`], microseconds for wall-clock implementations.
+    fn now(&self) -> u64;
+
+    /// Whether readings are a pure function of the work performed
+    /// (true for [`SimClock`], false for wall clocks).
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+}
+
+/// Deterministic tick-counter clock.
+///
+/// The instrumented code calls [`SimClock::advance`] once per unit of
+/// work; span durations are therefore work counts, reproducible
+/// regardless of thread scheduling.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    ticks: AtomicU64,
+}
+
+impl SimClock {
+    /// New clock at tick zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Advance the clock by `n` ticks.
+    pub fn advance(&self, n: u64) {
+        self.ticks.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}
+
+/// A span-style stage timer: reads the clock on `start`, observes the
+/// elapsed delta into a histogram on `finish`.
+#[derive(Debug)]
+pub struct StageSpan<'a, C: Clock + ?Sized> {
+    clock: &'a C,
+    hist: &'a Histogram,
+    start: u64,
+}
+
+impl<'a, C: Clock + ?Sized> StageSpan<'a, C> {
+    /// Start a span against `clock`, recording into `hist` on finish.
+    pub fn start(clock: &'a C, hist: &'a Histogram) -> Self {
+        StageSpan {
+            clock,
+            hist,
+            start: clock.now(),
+        }
+    }
+
+    /// End the span: observe and return the elapsed clock delta.
+    pub fn finish(self) -> u64 {
+        let elapsed = self.clock.now().saturating_sub(self.start);
+        self.hist.observe(elapsed);
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_advances_monotonically() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), 0);
+        assert!(clock.is_deterministic());
+        clock.advance(3);
+        clock.advance(2);
+        assert_eq!(clock.now(), 5);
+    }
+
+    #[test]
+    fn stage_span_observes_elapsed_ticks() {
+        let clock = SimClock::new();
+        let hist = Histogram::default();
+        clock.advance(10);
+        let span = StageSpan::start(&clock, &hist);
+        clock.advance(7);
+        assert_eq!(span.finish(), 7);
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 7);
+    }
+
+    #[test]
+    fn stage_span_works_through_dyn_clock() {
+        let clock = SimClock::new();
+        let hist = Histogram::default();
+        let dyn_clock: &dyn Clock = &clock;
+        let span = StageSpan::start(dyn_clock, &hist);
+        clock.advance(4);
+        assert_eq!(span.finish(), 4);
+    }
+}

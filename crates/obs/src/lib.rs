@@ -1,0 +1,39 @@
+//! Deterministic observability layer for the vqoe pipeline.
+//!
+//! The monitor runs unattended inside an operator network; the only way
+//! to trust a passive QoE pipeline is to watch it run. This crate is the
+//! single source of runtime telemetry for the workspace:
+//!
+//! - [`Registry`] — a metrics registry of monotonic [`Counter`]s,
+//!   [`Gauge`]s, and fixed-boundary [`Histogram`]s. Handles are cheap
+//!   `Arc`-backed clones; the hot path touches only atomics, never the
+//!   registry lock.
+//! - [`MetricClass`] — every metric is either `Stable` (derived purely
+//!   from the input data, identical across runs and worker counts) or
+//!   `Runtime` (scheduling/wall-clock dependent). The JSON snapshot sink
+//!   renders only `Stable` metrics and is therefore byte-identical for
+//!   identical input; the Prometheus text sink renders everything.
+//! - [`Clock`] / [`SimClock`] / [`StageSpan`] — span-style stage timing
+//!   behind a trait. The deterministic crates only ever see `SimClock`,
+//!   a tick counter advanced by work units (entries processed), so the
+//!   `vqoe-analyze` determinism gates stay green. Wall-clock `Clock`
+//!   implementations live in `vqoe-bench` and the `vqoe` CLI only.
+//! - [`Reporter`] — a levelled (quiet/normal/verbose) stderr reporter
+//!   replacing ad-hoc `eprintln!` health reporting in the CLI.
+//!
+//! Metric names follow `vqoe_<crate>_<subsystem>_<name>`, with the usual
+//! Prometheus `_total` suffix on counters. Bucket boundaries tuned for
+//! the pipeline (chunk sizes, session durations, stage latencies, work
+//! ticks) live in [`buckets`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod buckets;
+mod clock;
+mod registry;
+mod reporter;
+
+pub use clock::{Clock, SimClock, StageSpan};
+pub use registry::{Counter, Gauge, Histogram, MetricClass, Registry};
+pub use reporter::{ReportLevel, Reporter};

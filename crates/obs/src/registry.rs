@@ -1,0 +1,488 @@
+//! Metrics registry: counters, gauges, fixed-boundary histograms, and
+//! the two exposition sinks (Prometheus text, stable JSON snapshot).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Determinism class of a metric.
+///
+/// The JSON snapshot sink renders `Stable` metrics only, which is what
+/// makes it byte-identical across runs and worker counts for the same
+/// input. The Prometheus text sink renders both classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Derived purely from the input data: identical for identical
+    /// input regardless of scheduling, worker count, or wall time.
+    Stable,
+    /// Scheduling- or wall-clock-dependent (queue depths, stall counts,
+    /// wall-time latencies). Excluded from the JSON snapshot.
+    Runtime,
+}
+
+/// Monotonic counter handle. Clones share the same underlying value.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Gauge handle: a signed value that can move both ways.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct HistogramState {
+    /// `counts.len() == bounds.len() + 1`; the last slot is the +Inf
+    /// overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Fixed-boundary histogram handle.
+///
+/// Boundaries are inclusive upper bounds (`v <= bound` lands in that
+/// bucket, Prometheus `le` semantics); values above the last boundary
+/// land in the implicit +Inf bucket. All samples are `u64`, so the
+/// exposition is integer-only and trivially byte-stable.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Arc<Vec<u64>>,
+    state: Arc<HistogramState>,
+}
+
+impl Histogram {
+    fn with_bounds(bounds: &[u64]) -> Self {
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let state = HistogramState {
+            counts: (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        };
+        Histogram {
+            bounds: Arc::new(sorted),
+            state: Arc::new(state),
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|b| v > *b);
+        if let Some(slot) = self.state.counts.get(idx) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+        self.state.sum.fetch_add(v, Ordering::Relaxed);
+        self.state.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Upper bucket boundaries (sorted, deduplicated).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, non-cumulative; the final entry is the +Inf
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.state
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Sum of all observed samples.
+    pub fn sum(&self) -> u64 {
+        self.state.sum.load(Ordering::Relaxed)
+    }
+
+    /// Number of observed samples.
+    pub fn count(&self) -> u64 {
+        self.state.count.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::with_bounds(&[])
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    help: String,
+    class: MetricClass,
+    metric: Metric,
+}
+
+/// Metrics registry.
+///
+/// Registration takes the registry lock; returned handles are
+/// `Arc`-backed and lock-free, so the hot path never contends on the
+/// registry. Registering the same name twice with the same kind returns
+/// a handle to the same value; a kind mismatch returns a detached
+/// (unregistered) handle rather than panicking.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register (or look up) a monotonic counter.
+    pub fn counter(&self, name: &str, help: &str, class: MetricClass) -> Counter {
+        let mut entries = self.lock();
+        if let Some(existing) = entries.get(name) {
+            if let Metric::Counter(c) = &existing.metric {
+                return c.clone();
+            }
+            return Counter::default();
+        }
+        let handle = Counter::default();
+        entries.insert(
+            name.to_string(),
+            Entry {
+                help: help.to_string(),
+                class,
+                metric: Metric::Counter(handle.clone()),
+            },
+        );
+        handle
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&self, name: &str, help: &str, class: MetricClass) -> Gauge {
+        let mut entries = self.lock();
+        if let Some(existing) = entries.get(name) {
+            if let Metric::Gauge(g) = &existing.metric {
+                return g.clone();
+            }
+            return Gauge::default();
+        }
+        let handle = Gauge::default();
+        entries.insert(
+            name.to_string(),
+            Entry {
+                help: help.to_string(),
+                class,
+                metric: Metric::Gauge(handle.clone()),
+            },
+        );
+        handle
+    }
+
+    /// Register (or look up) a fixed-boundary histogram.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        class: MetricClass,
+        bounds: &[u64],
+    ) -> Histogram {
+        let mut entries = self.lock();
+        if let Some(existing) = entries.get(name) {
+            if let Metric::Histogram(h) = &existing.metric {
+                if h.bounds() == bounds {
+                    return h.clone();
+                }
+            }
+            return Histogram::with_bounds(bounds);
+        }
+        let handle = Histogram::with_bounds(bounds);
+        entries.insert(
+            name.to_string(),
+            Entry {
+                help: help.to_string(),
+                class,
+                metric: Metric::Histogram(handle.clone()),
+            },
+        );
+        handle
+    }
+
+    /// Render every registered metric (both classes) as Prometheus text
+    /// exposition: `# HELP` / `# TYPE` comments followed by samples,
+    /// histograms as cumulative `_bucket{le=...}` series plus `_sum` and
+    /// `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.lock();
+        let mut out = String::new();
+        for (name, entry) in entries.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", entry.help));
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (bound, count) in h.bounds().iter().zip(counts.iter()) {
+                        cumulative = cumulative.saturating_add(*count);
+                        out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the `Stable`-class metrics as a stable-ordered JSON
+    /// snapshot: one object with `counters` / `gauges` / `histograms`
+    /// sections, keys in BTreeMap (lexicographic) order, integer values
+    /// only. Identical input data produces a byte-identical snapshot
+    /// regardless of worker count, scheduling, or insertion order.
+    pub fn snapshot_json(&self) -> String {
+        let entries = self.lock();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, entry) in entries.iter() {
+            if entry.class != MetricClass::Stable {
+                continue;
+            }
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    counters.push(format!("    {}: {}", json_string(name), c.get()));
+                }
+                Metric::Gauge(g) => {
+                    gauges.push(format!("    {}: {}", json_string(name), g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let buckets: Vec<String> = h
+                        .bounds()
+                        .iter()
+                        .zip(h.bucket_counts().iter())
+                        .map(|(bound, count)| format!("[{bound}, {count}]"))
+                        .collect();
+                    let inf = h.bucket_counts().last().copied().unwrap_or(0);
+                    histograms.push(format!(
+                        "    {}: {{ \"buckets\": [{}], \"inf\": {}, \"sum\": {}, \"count\": {} }}",
+                        json_string(name),
+                        buckets.join(", "),
+                        inf,
+                        h.sum(),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        let mut out = String::from("{\n");
+        out.push_str("  \"counters\": {\n");
+        out.push_str(&counters.join(",\n"));
+        out.push_str("\n  },\n");
+        out.push_str("  \"gauges\": {\n");
+        out.push_str(&gauges.join(",\n"));
+        out.push_str("\n  },\n");
+        out.push_str("  \"histograms\": {\n");
+        out.push_str(&histograms.join(",\n"));
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (metric names are `[a-z0-9_]` by
+/// convention, but stay safe anyway).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = Registry::new();
+        let c = reg.counter("vqoe_test_events_total", "events", MetricClass::Stable);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // A second registration of the same name shares the value.
+        let c2 = reg.counter("vqoe_test_events_total", "events", MetricClass::Stable);
+        c2.inc();
+        assert_eq!(c.get(), 6);
+
+        let g = reg.gauge("vqoe_test_open", "open", MetricClass::Stable);
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_handle() {
+        let reg = Registry::new();
+        let c = reg.counter("vqoe_test_x", "x", MetricClass::Stable);
+        c.inc();
+        // Asking for the same name as a gauge must not panic and must
+        // not clobber the registered counter.
+        let g = reg.gauge("vqoe_test_x", "x", MetricClass::Stable);
+        g.set(99);
+        assert_eq!(c.get(), 1);
+        assert!(reg.render_prometheus().contains("vqoe_test_x 1"));
+    }
+
+    #[test]
+    fn histogram_bucket_edges_under_over_and_exact_boundary() {
+        let h = Histogram::with_bounds(&[10, 100, 1000]);
+        h.observe(0); // underflow -> first bucket
+        h.observe(10); // exact boundary -> first bucket (le semantics)
+        h.observe(11); // -> second bucket
+        h.observe(100); // exact boundary -> second bucket
+        h.observe(1000); // exact boundary -> third bucket
+        h.observe(1001); // overflow -> +Inf bucket
+        h.observe(9999); // overflow -> +Inf bucket
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 2]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 10 + 11 + 100 + 1000 + 1001 + 9999);
+    }
+
+    #[test]
+    fn histogram_bounds_are_sorted_and_deduplicated() {
+        let h = Histogram::with_bounds(&[100, 10, 100, 1]);
+        assert_eq!(h.bounds(), &[1, 10, 100]);
+    }
+
+    #[test]
+    fn prometheus_render_has_cumulative_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("vqoe_test_sizes", "sizes", MetricClass::Stable, &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE vqoe_test_sizes histogram"));
+        assert!(text.contains("vqoe_test_sizes_bucket{le=\"10\"} 1"));
+        assert!(text.contains("vqoe_test_sizes_bucket{le=\"100\"} 2"));
+        assert!(text.contains("vqoe_test_sizes_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("vqoe_test_sizes_sum 555"));
+        assert!(text.contains("vqoe_test_sizes_count 3"));
+    }
+
+    #[test]
+    fn snapshot_is_identical_across_insertion_orders() {
+        let make = |order: &[usize]| {
+            let reg = Registry::new();
+            type Registration = Box<dyn Fn(&Registry)>;
+            let registrations: Vec<Registration> = vec![
+                Box::new(|r: &Registry| {
+                    r.counter("vqoe_b_total", "b", MetricClass::Stable).add(2);
+                }),
+                Box::new(|r: &Registry| {
+                    r.gauge("vqoe_a_open", "a", MetricClass::Stable).set(3);
+                }),
+                Box::new(|r: &Registry| {
+                    r.histogram("vqoe_c_sizes", "c", MetricClass::Stable, &[10])
+                        .observe(4);
+                }),
+            ];
+            for &i in order {
+                if let Some(f) = registrations.get(i) {
+                    f(&reg);
+                }
+            }
+            reg.snapshot_json()
+        };
+        let a = make(&[0, 1, 2]);
+        let b = make(&[2, 1, 0]);
+        let c = make(&[1, 2, 0]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert!(a.contains("\"vqoe_b_total\": 2"));
+    }
+
+    #[test]
+    fn snapshot_excludes_runtime_metrics() {
+        let reg = Registry::new();
+        reg.counter("vqoe_stable_total", "s", MetricClass::Stable)
+            .inc();
+        reg.counter("vqoe_runtime_total", "r", MetricClass::Runtime)
+            .inc();
+        let snap = reg.snapshot_json();
+        assert!(snap.contains("vqoe_stable_total"));
+        assert!(!snap.contains("vqoe_runtime_total"));
+        // ... but the Prometheus exposition renders both.
+        let text = reg.render_prometheus();
+        assert!(text.contains("vqoe_stable_total 1"));
+        assert!(text.contains("vqoe_runtime_total 1"));
+    }
+
+    #[test]
+    fn empty_registry_renders_valid_shapes() {
+        let reg = Registry::new();
+        assert_eq!(reg.render_prometheus(), "");
+        let snap = reg.snapshot_json();
+        assert!(snap.contains("\"counters\""));
+        assert!(snap.contains("\"histograms\""));
+    }
+}

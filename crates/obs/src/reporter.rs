@@ -1,0 +1,74 @@
+//! Levelled stderr reporter for operator-facing status lines.
+//!
+//! Replaces ad-hoc `eprintln!` calls in the `vqoe` CLI: messages are
+//! classified as normal (summary lines) or verbose (health detail,
+//! anomaly dumps) and filtered by the configured [`ReportLevel`].
+
+/// Verbosity level for a [`Reporter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReportLevel {
+    /// Suppress everything.
+    Quiet,
+    /// Summary lines only (the default).
+    Normal,
+    /// Summaries plus health/anomaly detail.
+    Verbose,
+}
+
+/// Levelled stderr reporter.
+#[derive(Debug, Clone, Copy)]
+pub struct Reporter {
+    level: ReportLevel,
+}
+
+impl Reporter {
+    /// Reporter at the given level.
+    pub fn new(level: ReportLevel) -> Self {
+        Reporter { level }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> ReportLevel {
+        self.level
+    }
+
+    /// Emit a summary line (shown at `Normal` and above).
+    pub fn normal(&self, line: &str) {
+        if self.level >= ReportLevel::Normal {
+            eprintln!("{line}");
+        }
+    }
+
+    /// Emit a detail line (shown at `Verbose` only).
+    pub fn verbose(&self, line: &str) {
+        if self.level >= ReportLevel::Verbose {
+            eprintln!("{line}");
+        }
+    }
+}
+
+impl Default for Reporter {
+    fn default() -> Self {
+        Reporter::new(ReportLevel::Normal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(ReportLevel::Quiet < ReportLevel::Normal);
+        assert!(ReportLevel::Normal < ReportLevel::Verbose);
+    }
+
+    #[test]
+    fn reporter_reports_its_level() {
+        assert_eq!(Reporter::default().level(), ReportLevel::Normal);
+        assert_eq!(
+            Reporter::new(ReportLevel::Quiet).level(),
+            ReportLevel::Quiet
+        );
+    }
+}

@@ -96,14 +96,78 @@ pub struct IngestAnomaly {
     pub kind: AnomalyKind,
 }
 
+/// Exact per-[`AnomalyKind`] quarantine counts. Unlike the bounded
+/// record list in [`AnomalyLog`], these are plain monotone counters and
+/// survive the retention cap, so observability layers can report the
+/// full kind distribution of a fault storm. Counts merge by summation
+/// (see [`AnomalyKindCounts::absorb`]), which makes them deterministic
+/// under any parallel reduction order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnomalyKindCounts {
+    /// [`AnomalyKind::EmptyHost`] quarantines.
+    pub empty_host: u64,
+    /// [`AnomalyKind::OversizedObject`] quarantines.
+    pub oversized_object: u64,
+    /// [`AnomalyKind::ZeroSizedObject`] quarantines.
+    pub zero_sized_object: u64,
+    /// [`AnomalyKind::OverlongTransaction`] quarantines.
+    pub overlong_transaction: u64,
+    /// [`AnomalyKind::LateArrival`] quarantines.
+    pub late_arrival: u64,
+}
+
+impl AnomalyKindCounts {
+    /// Count one anomaly of the given kind.
+    pub fn record(&mut self, kind: AnomalyKind) {
+        match kind {
+            AnomalyKind::EmptyHost => self.empty_host += 1,
+            AnomalyKind::OversizedObject => self.oversized_object += 1,
+            AnomalyKind::ZeroSizedObject => self.zero_sized_object += 1,
+            AnomalyKind::OverlongTransaction => self.overlong_transaction += 1,
+            AnomalyKind::LateArrival => self.late_arrival += 1,
+        }
+    }
+
+    /// The count for one kind.
+    pub fn of(&self, kind: AnomalyKind) -> u64 {
+        match kind {
+            AnomalyKind::EmptyHost => self.empty_host,
+            AnomalyKind::OversizedObject => self.oversized_object,
+            AnomalyKind::ZeroSizedObject => self.zero_sized_object,
+            AnomalyKind::OverlongTransaction => self.overlong_transaction,
+            AnomalyKind::LateArrival => self.late_arrival,
+        }
+    }
+
+    /// Sum across all kinds.
+    pub fn total(&self) -> u64 {
+        self.empty_host
+            + self.oversized_object
+            + self.zero_sized_object
+            + self.overlong_transaction
+            + self.late_arrival
+    }
+
+    /// Fold another count set into this one (monotone sums).
+    pub fn absorb(&mut self, other: &AnomalyKindCounts) {
+        self.empty_host += other.empty_host;
+        self.oversized_object += other.oversized_object;
+        self.zero_sized_object += other.zero_sized_object;
+        self.overlong_transaction += other.overlong_transaction;
+        self.late_arrival += other.late_arrival;
+    }
+}
+
 /// A bounded quarantine log: keeps the first
-/// [`IngestConfig::max_anomalies_kept`] anomalies verbatim and an exact
-/// total count beyond that, so a fault storm cannot balloon memory.
+/// [`IngestConfig::max_anomalies_kept`] anomalies verbatim, an exact
+/// total count beyond that, and exact per-kind counts, so a fault storm
+/// cannot balloon memory yet still reports its full distribution.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AnomalyLog {
     kept: Vec<IngestAnomaly>,
     total: u64,
     cap: usize,
+    kinds: AnomalyKindCounts,
 }
 
 impl AnomalyLog {
@@ -113,24 +177,37 @@ impl AnomalyLog {
             kept: Vec::new(),
             total: 0,
             cap,
+            kinds: AnomalyKindCounts::default(),
         }
     }
 
     /// Record one anomaly (always counted, kept only under the cap).
     pub fn record(&mut self, a: IngestAnomaly) {
         self.total += 1;
+        self.kinds.record(a.kind);
         if self.kept.len() < self.cap {
             self.kept.push(a);
         }
     }
 
-    /// Rebuild a log from an already-merged record list and an exact
-    /// total. Used by parallel reducers that merge several per-shard
-    /// logs into the record order a sequential run would have produced;
-    /// `kept` is truncated to `cap`, `total` is taken as-is.
-    pub fn from_parts(cap: usize, mut kept: Vec<IngestAnomaly>, total: u64) -> Self {
+    /// Rebuild a log from an already-merged record list, an exact
+    /// total, and summed per-kind counts. Used by parallel reducers
+    /// that merge several per-shard logs into the record order a
+    /// sequential run would have produced; `kept` is truncated to
+    /// `cap`, `total` and `kinds` are taken as-is.
+    pub fn from_parts(
+        cap: usize,
+        mut kept: Vec<IngestAnomaly>,
+        total: u64,
+        kinds: AnomalyKindCounts,
+    ) -> Self {
         kept.truncate(cap);
-        AnomalyLog { kept, total, cap }
+        AnomalyLog {
+            kept,
+            total,
+            cap,
+            kinds,
+        }
     }
 
     /// The retention cap this log was built with.
@@ -146,6 +223,11 @@ impl AnomalyLog {
     /// Exact number of anomalies ever recorded.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Exact per-kind counts (not subject to the retention cap).
+    pub fn kinds(&self) -> AnomalyKindCounts {
+        self.kinds
     }
 }
 

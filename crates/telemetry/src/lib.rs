@@ -60,8 +60,8 @@ pub use dataset::{join_sessions, read_jsonl, write_jsonl, JoinedSession};
 pub use error::TelemetryError;
 pub use groundtruth::{extract_sessions, ExtractedChunk, ExtractedSession};
 pub use ingest::{
-    robust_reassemble_subscriber, validate_entry, AnomalyKind, AnomalyLog, IngestAnomaly,
-    IngestConfig, RobustReassembler, StreamHealth,
+    robust_reassemble_subscriber, validate_entry, AnomalyKind, AnomalyKindCounts, AnomalyLog,
+    IngestAnomaly, IngestConfig, RobustReassembler, StreamHealth,
 };
 pub use reassembly::{
     reassemble_subscriber, ReassembledSession, ReassemblyConfig, StreamReassembler,

@@ -4,10 +4,13 @@
 #   scripts/bench.sh          # quick mode: engine-scaling experiment only
 #   scripts/bench.sh --full   # also run the Criterion perf benches
 #
-# Quick mode builds release, runs the `engine-scaling` repro experiment
-# at its quick harness point (smoke-scale training context), and leaves
+# Quick mode builds release, runs the `engine-scaling` and
+# `obs-overhead` repro experiments at their quick harness points
+# (smoke-scale training context), and leaves
 #   results/engine-scaling.txt   human-readable report
 #   BENCH_pr3.json               machine-readable record (speedup_4v1)
+#   results/obs-overhead.txt     metrics-layer cost report
+#   BENCH_pr4.json               machine-readable record (overhead_pct)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +29,13 @@ mkdir -p results
 
 echo "==> BENCH_pr3.json"
 cat BENCH_pr3.json
+
+echo "==> repro obs-overhead (quick mode)"
+./target/release/repro obs-overhead --smoke \
+  --bench-json BENCH_pr4.json --out results
+
+echo "==> BENCH_pr4.json"
+cat BENCH_pr4.json
 
 if [[ "$FULL" == "1" ]]; then
   echo "==> cargo bench -p vqoe-bench (Criterion)"

@@ -11,7 +11,7 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> vqoe-analyze (determinism / panic-path / constants / hygiene / bounded)"
+echo "==> vqoe-analyze (determinism / panic-path / constants / hygiene / bounded / clock)"
 cargo run -q -p vqoe-analyze
 
 echo "==> cargo test --workspace"
