@@ -11,8 +11,8 @@
 
 use std::io::Write;
 use vqoe_bench::experiments::{
-    abr_comparison, engine_scaling_with, obs_overhead_with, run_experiment, EngineScalingConfig,
-    ObsOverheadConfig, EXPERIMENTS,
+    abr_comparison, engine_scaling_with, obs_overhead_with, run_experiment, train_scaling_with,
+    EngineScalingConfig, ObsOverheadConfig, TrainScalingConfig, EXPERIMENTS,
 };
 use vqoe_bench::{ReproContext, ReproScale};
 
@@ -102,6 +102,12 @@ fn main() {
             txt
         } else if id == "obs-overhead" {
             let (txt, json) = obs_overhead_with(&ctx, ObsOverheadConfig::quick());
+            if let Some(path) = &bench_json {
+                std::fs::write(path, json).expect("write --bench-json file");
+            }
+            txt
+        } else if id == "train-scaling" {
+            let (txt, json) = train_scaling_with(&ctx, TrainScalingConfig::quick());
             if let Some(path) = &bench_json {
                 std::fs::write(path, json).expect("write --bench-json file");
             }

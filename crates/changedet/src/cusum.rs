@@ -72,9 +72,22 @@ pub fn cusum_series(series: &[f64], config: CusumConfig) -> Vec<f64> {
 /// expressed in σ units of the input series. Provided for completeness
 /// (the paper's pipeline does not alarm per point) and used by the
 /// ablation benches.
+///
+/// A series with no finite samples, or whose finite samples have zero
+/// (or non-finite) standard deviation, is *degenerate*: `h = h_sigmas ·
+/// σ` collapses to 0, and any positive CUSUM output — e.g. a constant
+/// series measured against an explicit off-level `reference` — would
+/// alarm at every index. No threshold can be calibrated from such a
+/// series, so it raises no alarms.
 pub fn alarms(series: &[f64], config: CusumConfig, h_sigmas: f64) -> Vec<usize> {
     let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return Vec::new();
+    }
     let sigma = vqoe_stats::moments::population_std(&finite);
+    if !sigma.is_finite() || sigma <= 0.0 {
+        return Vec::new();
+    }
     let h = h_sigmas * sigma;
     cusum_series(series, config)
         .iter()
@@ -156,6 +169,25 @@ mod tests {
         let out = cusum_series(&series, CusumConfig::default());
         assert_eq!(out.len(), 20);
         assert!(out.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn degenerate_series_raises_no_alarms() {
+        // All-non-finite: σ over the (empty) finite subset is 0, so the
+        // threshold h = 2σ = 0 — the old code compared every output
+        // point against 0.
+        let cfg = CusumConfig::default();
+        assert!(alarms(&[f64::NAN; 10], cfg, 2.0).is_empty());
+        assert!(alarms(&[], cfg, 2.0).is_empty());
+        // Constant series vs an explicit off-level reference: the CUSUM
+        // output is strictly positive everywhere while h = 0, which used
+        // to alarm at EVERY index. No threshold is calibratable from a
+        // zero-variance series, so there must be no alarms.
+        let anchored = CusumConfig {
+            reference: Some(0.0),
+            allowance_sigmas: 0.5,
+        };
+        assert!(alarms(&[5.0; 20], anchored, 2.0).is_empty());
     }
 
     #[test]

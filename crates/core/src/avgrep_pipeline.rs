@@ -1,13 +1,16 @@
 //! The §4.2 average-representation pipeline: 210-feature construction,
 //! CFS selection to the Table-5 subset, training and evaluation.
 
+use crate::metrics::PipelineMetrics;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use vqoe_features::representation::{representation_feature_names, representation_features};
 use vqoe_features::{RqClass, SessionObs};
-use vqoe_ml::selection::{cfs_best_first, info_gain_ranking, RankedFeature};
-use vqoe_ml::{cross_validate, ConfusionMatrix, Dataset, ForestConfig, RandomForest};
+use vqoe_ml::selection::{cfs_best_first_with, info_gain_ranking_with, RankedFeature};
+use vqoe_ml::{
+    cross_validate_with, ConfusionMatrix, Dataset, ForestConfig, RandomForest, TrainConfig,
+};
 use vqoe_player::SessionTrace;
 
 /// Target size of the selected subset (the paper lands on 15 features,
@@ -59,6 +62,9 @@ pub struct RepresentationTrainingReport {
     pub cv_matrix: ConfusionMatrix,
     /// LD/SD/HD counts of the raw corpus (paper: 57 % / 38 % / 5 %).
     pub class_counts: Vec<usize>,
+    /// CV folds that contributed no predictions (empty test or training
+    /// side); `0` on any reasonably sized corpus.
+    pub cv_skipped_folds: usize,
     /// The deployable model.
     pub model: RepresentationModel,
 }
@@ -69,8 +75,21 @@ pub fn train_representation_detector(
     forest_config: ForestConfig,
     seed: u64,
 ) -> RepresentationTrainingReport {
+    train_representation_detector_with(traces, forest_config, seed, TrainConfig::sequential(), None)
+}
+
+/// [`train_representation_detector`] with an explicit worker policy and
+/// optional metric recording; output is byte-identical at any worker
+/// count.
+pub fn train_representation_detector_with(
+    traces: &[SessionTrace],
+    forest_config: ForestConfig,
+    seed: u64,
+    train: TrainConfig,
+    metrics: Option<&PipelineMetrics>,
+) -> RepresentationTrainingReport {
     let full = vqoe_features::build_representation_dataset(traces);
-    train_representation_detector_on(&full, forest_config, seed)
+    train_representation_detector_on_with(&full, forest_config, seed, train, metrics)
 }
 
 /// Train from a pre-built 210-dim dataset.
@@ -79,11 +98,29 @@ pub fn train_representation_detector_on(
     forest_config: ForestConfig,
     seed: u64,
 ) -> RepresentationTrainingReport {
+    train_representation_detector_on_with(
+        full,
+        forest_config,
+        seed,
+        TrainConfig::sequential(),
+        None,
+    )
+}
+
+/// [`train_representation_detector_on`] with an explicit worker policy
+/// and optional metric recording.
+pub fn train_representation_detector_on_with(
+    full: &Dataset,
+    forest_config: ForestConfig,
+    seed: u64,
+    train: TrainConfig,
+    metrics: Option<&PipelineMetrics>,
+) -> RepresentationTrainingReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let balanced = full.balanced_downsample(&mut rng);
 
-    let mut selected_idx = cfs_best_first(&balanced, 5);
-    let ranking = info_gain_ranking(&balanced);
+    let mut selected_idx = cfs_best_first_with(&balanced, 5, train);
+    let ranking = info_gain_ranking_with(&balanced, train);
     if selected_idx.len() < TARGET_SUBSET_SIZE {
         for r in &ranking {
             if selected_idx.len() >= TARGET_SUBSET_SIZE {
@@ -103,22 +140,28 @@ pub fn train_representation_detector_on(
     let ordered_idx: Vec<usize> = selected.iter().map(|r| r.index).collect();
 
     let reduced = full.select_features(&ordered_idx);
-    let cv_matrix = cross_validate(
+    let cv = cross_validate_with(
         &reduced,
         crate::stall_pipeline::CV_FOLDS,
         forest_config,
         true,
         seed,
+        train,
     );
 
     let final_train = reduced.balanced_downsample(&mut rng);
-    let forest = RandomForest::fit(&final_train, forest_config);
+    let forest = RandomForest::fit_with(&final_train, forest_config, train);
+    if let Some(m) = metrics {
+        m.observe_cv(&cv);
+        m.observe_fit(forest_config.n_trees);
+    }
     let names = representation_feature_names();
 
     RepresentationTrainingReport {
         selected,
-        cv_matrix,
+        cv_matrix: cv.matrix,
         class_counts: full.class_counts(),
+        cv_skipped_folds: cv.skipped_folds,
         model: RepresentationModel {
             forest,
             selected_names: ordered_idx.iter().map(|&i| names[i].clone()).collect(),
@@ -207,5 +250,21 @@ mod tests {
         let a = train_representation_detector(&traces, ForestConfig::default(), 5);
         let b = train_representation_detector(&traces, ForestConfig::default(), 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_training_is_byte_identical_to_sequential() {
+        let traces = adaptive_corpus(200, 26);
+        let reference = train_representation_detector(&traces, ForestConfig::default(), 5);
+        for workers in [2usize, 7] {
+            let got = train_representation_detector_with(
+                &traces,
+                ForestConfig::default(),
+                5,
+                TrainConfig::with_workers(workers),
+                None,
+            );
+            assert_eq!(reference, got, "workers {workers}");
+        }
     }
 }

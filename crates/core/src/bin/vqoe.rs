@@ -223,16 +223,25 @@ fn extract_gt(flags: &Flags) {
 
 fn train(flags: &Flags) {
     let out = flags.path("out");
+    // `--workers 0` (the default) auto-sizes the training fan-out; any
+    // count produces the byte-identical model.
     let config = TrainingConfig::builder()
         .cleartext_sessions(flags.num("cleartext", 4000usize))
         .adaptive_sessions(flags.num("adaptive", 1500usize))
         .seed(flags.num("seed", 2016u64))
+        .workers(flags.num("workers", 0usize))
         .build()
         .unwrap_or_else(|e| usage(&format!("invalid training config: {e}")));
     let report = reporter(flags);
     report.normal(&format!(
-        "training on {} cleartext + {} adaptive sessions (seed {}) ...",
-        config.cleartext_sessions, config.adaptive_sessions, config.seed
+        "training on {} cleartext + {} adaptive sessions (seed {}, {} workers) ...",
+        config.cleartext_sessions,
+        config.adaptive_sessions,
+        config.seed,
+        match config.train.workers {
+            0 => "auto".to_string(),
+            n => n.to_string(),
+        }
     ));
     let monitor = QoeMonitor::train(&config);
     let json = monitor.to_json().unwrap_or_else(fail("serialize model"));
@@ -427,12 +436,15 @@ fn usage(err: &str) -> ! {
            generate   --kind cleartext|adaptive|encrypted --sessions N --seed S --out FILE\n\
            capture    --traces FILE [--encrypted] [--subscriber ID] [--seed S] --out FILE\n\
            extract-gt --weblogs FILE --out FILE\n\
-           train      [--cleartext N] [--adaptive N] [--seed S] --out FILE\n\
+           train      [--cleartext N] [--adaptive N] [--seed S] [--workers N] --out FILE\n\
            assess     --model FILE --weblogs FILE --out FILE\n\
          \x20          [--workers N] [--shards N] [--queue-depth N] [--verbose]\n\
          \x20          [--chaos RATE] [--chaos-seed S] [--max-subscribers N]\n\
          \x20          [--metrics PATH|-] [--quiet]\n\
          \n\
+         train --workers fans tree/fold/candidate fitting out across\n\
+         threads (0 = auto); the trained model is byte-identical at any\n\
+         worker count.\n\
          assess runs the streaming assessor by default; --workers routes\n\
          the capture through the sharded parallel engine (0 = auto),\n\
          with bit-identical output. --verbose adds stream-health and\n\

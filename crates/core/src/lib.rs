@@ -86,6 +86,7 @@ pub use qoe_score::QoeScore;
 pub use spec::{DatasetSpec, DeliveryMix, ScenarioMix};
 pub use stall_pipeline::{StallModel, StallTrainingReport};
 pub use switch_pipeline::{SwitchCalibrationReport, SwitchEvalReport, SwitchModel};
+pub use vqoe_ml::TrainConfig;
 pub use weblog_training::{
     capture_cleartext_corpus, representation_dataset_from_weblogs, sessions_from_weblogs,
     stall_dataset_from_weblogs,
@@ -104,5 +105,6 @@ pub mod prelude {
     pub use crate::qoe_score::QoeScore;
     pub use crate::{RepresentationModel, StallModel, SwitchModel};
     pub use vqoe_features::{RqClass, SessionObs, StallClass};
+    pub use vqoe_ml::TrainConfig;
     pub use vqoe_telemetry::{IngestConfig, StreamHealth, WeblogEntry};
 }

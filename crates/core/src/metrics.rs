@@ -13,7 +13,7 @@
 //! from the snapshot.
 
 use vqoe_features::{RqClass, StallClass};
-use vqoe_obs::{buckets, Counter, Gauge, Histogram, MetricClass, Registry};
+use vqoe_obs::{buckets, Counter, Gauge, Histogram, MetricClass, Registry, SimClock, StageSpan};
 use vqoe_telemetry::{AnomalyKind, AnomalyKindCounts, ReassembledSession, StreamHealth};
 
 use crate::avgrep_pipeline::RepresentationModel;
@@ -60,6 +60,10 @@ pub struct PipelineMetrics {
     // Online assessor.
     pub(crate) online_evictions: Counter,
     pub(crate) open_subscribers: Gauge,
+    // Training.
+    pub(crate) trees_fitted: Counter,
+    pub(crate) cv_folds_skipped: Counter,
+    pub(crate) cv_fold_ticks: Histogram,
 }
 
 impl PipelineMetrics {
@@ -208,7 +212,44 @@ impl PipelineMetrics {
                 "subscribers currently tracked by the online assessor",
                 s,
             ),
+            trees_fitted: counter(
+                "vqoe_core_train_trees_fitted_total",
+                "decision trees fitted across CV folds and deployment fits",
+            ),
+            cv_folds_skipped: counter(
+                "vqoe_core_train_cv_folds_skipped_total",
+                "cross-validation folds skipped as unusable (empty test or training side)",
+            ),
+            cv_fold_ticks: registry.histogram(
+                "vqoe_core_train_cv_fold_ticks",
+                "deterministic work ticks (test rows scored) per cross-validation fold",
+                s,
+                buckets::WORK_TICKS,
+            ),
         }
+    }
+
+    /// Record one cross-validation run: a [`StageSpan`] per fold (ticks
+    /// = test rows scored, skipped folds span zero ticks), the
+    /// skipped-fold count, and the trees fitted. Everything recorded
+    /// here is a pure function of the [`CvReport`], so the `Stable`
+    /// snapshot stays byte-identical at any worker count.
+    ///
+    /// [`StageSpan`]: vqoe_obs::StageSpan
+    pub(crate) fn observe_cv(&self, report: &vqoe_ml::CvReport) {
+        let clock = SimClock::new();
+        for &test_rows in &report.fold_test_sizes {
+            let span = StageSpan::start(&clock, &self.cv_fold_ticks);
+            clock.advance(test_rows as u64);
+            span.finish();
+        }
+        self.cv_folds_skipped.add(report.skipped_folds as u64);
+        self.trees_fitted.add(report.trees_fitted as u64);
+    }
+
+    /// Record a deployment-model fit of `n_trees` trees.
+    pub(crate) fn observe_fit(&self, n_trees: usize) {
+        self.trees_fitted.add(n_trees as u64);
     }
 
     /// Handle for one anomaly-kind counter.
@@ -359,6 +400,26 @@ mod tests {
         };
         m.observe_health_delta(&before, &after);
         assert_eq!(m.health_view(), after);
+    }
+
+    #[test]
+    fn observe_cv_records_folds_skips_and_trees() {
+        let registry = Registry::new();
+        let m = PipelineMetrics::register(&registry);
+        let report = vqoe_ml::CvReport {
+            matrix: vqoe_ml::ConfusionMatrix::new(vec!["a".into(), "b".into()]),
+            skipped_folds: 2,
+            fold_test_sizes: vec![12, 0, 15, 0],
+            trees_fitted: 120,
+        };
+        m.observe_cv(&report);
+        m.observe_fit(60);
+        assert_eq!(m.trees_fitted.get(), 180);
+        assert_eq!(m.cv_folds_skipped.get(), 2);
+        let text = registry.render_prometheus();
+        assert!(text.contains("vqoe_core_train_trees_fitted_total 180"));
+        assert!(text.contains("vqoe_core_train_cv_fold_ticks_count 4"));
+        assert!(text.contains("vqoe_core_train_cv_fold_ticks_sum 27"));
     }
 
     #[test]

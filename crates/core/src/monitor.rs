@@ -13,16 +13,17 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use vqoe_changedet::SwitchScoreConfig;
 use vqoe_features::{RqClass, SessionObs, StallClass};
-use vqoe_ml::ForestConfig;
+use vqoe_ml::{ForestConfig, TrainConfig};
 use vqoe_simnet::time::Instant;
 use vqoe_telemetry::{reassemble_subscriber, ReassemblyConfig, WeblogEntry};
 
-use crate::avgrep_pipeline::{train_representation_detector, RepresentationModel};
+use crate::avgrep_pipeline::{train_representation_detector_with, RepresentationModel};
 use crate::engine::{AssessmentEngine, EngineConfig};
 use crate::generate::generate_traces;
+use crate::metrics::PipelineMetrics;
 use crate::online::IngestReport;
 use crate::spec::{DatasetSpec, ScenarioMix};
-use crate::stall_pipeline::{train_stall_detector, StallModel};
+use crate::stall_pipeline::{train_stall_detector_with, StallModel};
 use crate::switch_pipeline::SwitchModel;
 
 /// End-to-end training configuration.
@@ -46,6 +47,9 @@ pub struct TrainingConfig {
     /// corpora (`None` keeps the per-corpus presets). Must carry at
     /// least one positive weight.
     pub scenarios: Option<ScenarioMix>,
+    /// Worker policy for the training fan-out (trees, CV folds, CFS
+    /// candidates). Never changes the trained models — only wall-clock.
+    pub train: TrainConfig,
 }
 
 impl Default for TrainingConfig {
@@ -57,6 +61,7 @@ impl Default for TrainingConfig {
             forest: ForestConfig::default(),
             switch_scoring: SwitchScoreConfig::default(),
             scenarios: None,
+            train: TrainConfig::sequential(),
         }
     }
 }
@@ -149,6 +154,13 @@ impl TrainingConfigBuilder {
         self
     }
 
+    /// Worker threads for the training fan-out (`0` = auto, `1` =
+    /// sequential). The trained models are byte-identical either way.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.train = TrainConfig::with_workers(workers);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<TrainingConfig, ConfigError> {
         let c = &self.config;
@@ -214,6 +226,17 @@ impl QoeMonitor {
     /// paper's "use the insights and the ground truth from the
     /// non-encrypted traffic" phase.
     pub fn train(config: &TrainingConfig) -> QoeMonitor {
+        Self::train_with_metrics(config, None)
+    }
+
+    /// [`QoeMonitor::train`] with an optional [`PipelineMetrics`] bundle
+    /// attached: the monitor is bit-identical, and the registry behind
+    /// `metrics` additionally accumulates training counters (trees
+    /// fitted, CV fold spans, skipped folds).
+    pub fn train_with_metrics(
+        config: &TrainingConfig,
+        metrics: Option<&PipelineMetrics>,
+    ) -> QoeMonitor {
         let mut cleartext_spec =
             DatasetSpec::cleartext_default(config.cleartext_sessions, config.seed);
         let mut adaptive_spec =
@@ -233,8 +256,20 @@ impl QoeMonitor {
         // at simulation scale rather than preserving the 3 % share.
         let mut stall_corpus = cleartext.clone();
         stall_corpus.extend(adaptive.iter().cloned());
-        let stall = train_stall_detector(&stall_corpus, config.forest, config.seed);
-        let rep = train_representation_detector(&adaptive, config.forest, config.seed);
+        let stall = train_stall_detector_with(
+            &stall_corpus,
+            config.forest,
+            config.seed,
+            config.train,
+            metrics,
+        );
+        let rep = train_representation_detector_with(
+            &adaptive,
+            config.forest,
+            config.seed,
+            config.train,
+            metrics,
+        );
         let switch = SwitchModel::calibrate(&adaptive, config.switch_scoring);
 
         QoeMonitor {
@@ -369,6 +404,18 @@ mod tests {
         let a = QoeMonitor::train(&tiny_config());
         let b = QoeMonitor::train(&tiny_config());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_training_yields_the_identical_monitor() {
+        let sequential = QoeMonitor::train(&tiny_config());
+        for workers in [2usize, 7] {
+            let cfg = TrainingConfig {
+                train: TrainConfig::with_workers(workers),
+                ..tiny_config()
+            };
+            assert_eq!(QoeMonitor::train(&cfg), sequential, "workers {workers}");
+        }
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! The §4.1 stall-detection pipeline: feature selection, training,
 //! cross-validated evaluation, and the deployable model.
 
+use crate::metrics::PipelineMetrics;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use vqoe_features::stall::{stall_feature_names, stall_features};
 use vqoe_features::{SessionObs, StallClass};
-use vqoe_ml::selection::{cfs_best_first, info_gain_ranking, RankedFeature};
-use vqoe_ml::{cross_validate, ConfusionMatrix, Dataset, ForestConfig, RandomForest};
+use vqoe_ml::selection::{cfs_best_first_with, info_gain_ranking_with, RankedFeature};
+use vqoe_ml::{
+    cross_validate_with, ConfusionMatrix, Dataset, ForestConfig, RandomForest, TrainConfig,
+};
 use vqoe_player::SessionTrace;
 
 /// A trained, deployable stall detector: the Random Forest plus the
@@ -60,6 +63,9 @@ pub struct StallTrainingReport {
     /// Class counts of the raw training corpus (the paper's priors:
     /// ~88 % no stalls).
     pub class_counts: Vec<usize>,
+    /// CV folds that contributed no predictions (empty test or training
+    /// side); `0` on any reasonably sized corpus.
+    pub cv_skipped_folds: usize,
     /// The deployable model, trained on the full balanced corpus.
     pub model: StallModel,
 }
@@ -79,8 +85,20 @@ pub fn train_stall_detector(
     forest_config: ForestConfig,
     seed: u64,
 ) -> StallTrainingReport {
+    train_stall_detector_with(traces, forest_config, seed, TrainConfig::sequential(), None)
+}
+
+/// [`train_stall_detector`] with an explicit worker policy and optional
+/// metric recording; output is byte-identical at any worker count.
+pub fn train_stall_detector_with(
+    traces: &[SessionTrace],
+    forest_config: ForestConfig,
+    seed: u64,
+    train: TrainConfig,
+    metrics: Option<&PipelineMetrics>,
+) -> StallTrainingReport {
     let full = vqoe_features::build_stall_dataset(traces);
-    train_stall_detector_on(&full, forest_config, seed)
+    train_stall_detector_on_with(&full, forest_config, seed, train, metrics)
 }
 
 /// Train from a pre-built 70-dim dataset (used by ablations that
@@ -90,13 +108,25 @@ pub fn train_stall_detector_on(
     forest_config: ForestConfig,
     seed: u64,
 ) -> StallTrainingReport {
+    train_stall_detector_on_with(full, forest_config, seed, TrainConfig::sequential(), None)
+}
+
+/// [`train_stall_detector_on`] with an explicit worker policy and
+/// optional metric recording.
+pub fn train_stall_detector_on_with(
+    full: &Dataset,
+    forest_config: ForestConfig,
+    seed: u64,
+    train: TrainConfig,
+    metrics: Option<&PipelineMetrics>,
+) -> StallTrainingReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let balanced = full.balanced_downsample(&mut rng);
 
     // Feature selection on the balanced corpus (selection on the raw
     // corpus would be dominated by the 88 % no-stall class).
-    let mut selected_idx = cfs_best_first(&balanced, 5);
-    let ranking = info_gain_ranking(&balanced);
+    let mut selected_idx = cfs_best_first_with(&balanced, 5, train);
+    let ranking = info_gain_ranking_with(&balanced, train);
     if selected_idx.len() < 4 {
         // CFS can return very small subsets on easy corpora; pad with the
         // top info-gain features so the model keeps the paper's
@@ -120,16 +150,21 @@ pub fn train_stall_detector_on(
     let ordered_idx: Vec<usize> = selected.iter().map(|r| r.index).collect();
 
     let reduced = full.select_features(&ordered_idx);
-    let cv_matrix = cross_validate(&reduced, CV_FOLDS, forest_config, true, seed);
+    let cv = cross_validate_with(&reduced, CV_FOLDS, forest_config, true, seed, train);
 
     let final_train = reduced.balanced_downsample(&mut rng);
-    let forest = RandomForest::fit(&final_train, forest_config);
+    let forest = RandomForest::fit_with(&final_train, forest_config, train);
+    if let Some(m) = metrics {
+        m.observe_cv(&cv);
+        m.observe_fit(forest_config.n_trees);
+    }
     let names = stall_feature_names();
 
     StallTrainingReport {
         selected,
-        cv_matrix,
+        cv_matrix: cv.matrix,
         class_counts: full.class_counts(),
+        cv_skipped_folds: cv.skipped_folds,
         model: StallModel {
             forest,
             selected_names: ordered_idx.iter().map(|&i| names[i].clone()).collect(),
@@ -211,6 +246,45 @@ mod tests {
         let a = train_stall_detector(&traces, ForestConfig::default(), 9);
         let b = train_stall_detector(&traces, ForestConfig::default(), 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_training_is_byte_identical_to_sequential() {
+        let traces = generate_traces(&DatasetSpec::cleartext_default(400, 79));
+        let reference = train_stall_detector(&traces, ForestConfig::default(), 9);
+        for workers in [2usize, 7] {
+            let got = train_stall_detector_with(
+                &traces,
+                ForestConfig::default(),
+                9,
+                TrainConfig::with_workers(workers),
+                None,
+            );
+            assert_eq!(reference, got, "workers {workers}");
+        }
+        assert_eq!(reference.cv_skipped_folds, 0);
+    }
+
+    #[test]
+    fn training_with_metrics_counts_the_work() {
+        let registry = vqoe_obs::Registry::new();
+        let m = PipelineMetrics::register(&registry);
+        let traces = generate_traces(&DatasetSpec::cleartext_default(300, 80));
+        let report = train_stall_detector_with(
+            &traces,
+            ForestConfig::default(),
+            9,
+            TrainConfig::sequential(),
+            Some(&m),
+        );
+        let scored = CV_FOLDS - report.cv_skipped_folds;
+        let expected = (scored + 1) * ForestConfig::default().n_trees;
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains(&format!("vqoe_core_train_trees_fitted_total {expected}")),
+            "trees_fitted mismatch (want {expected})"
+        );
+        assert!(text.contains(&format!("vqoe_core_train_cv_fold_ticks_count {CV_FOLDS}")));
     }
 
     #[test]

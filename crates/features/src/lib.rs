@@ -32,6 +32,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Sentinel written into a feature slot whose summary statistic is
+/// *undefined*: the session has chunks, but every sample of that metric
+/// is non-finite (a broken tap annotation, not an absent one).
+///
+/// The value sits far outside the attainable range of every Table-1 /
+/// §4.2 metric (timings are seconds, sizes and windows are bytes ≤ a few
+/// hundred MB, ratios are `[0, 1]`), so a missing statistic can never
+/// alias a genuine measurement — in particular a genuine `0.0`, which
+/// `vqoe_stats::quantile`'s bare sentinel would have collided with.
+/// Tree-based models simply split it off as its own regime.
+///
+/// Distinct from the empty-session convention: a session with *no
+/// chunks* still yields the all-zero vector ("no signal", see
+/// [`stall_features`]); only a non-empty series with zero finite samples
+/// gets the sentinel.
+pub const MISSING_STAT: f64 = -1.0e12;
+
 pub mod labels;
 pub mod matrix;
 pub mod obfuscation;

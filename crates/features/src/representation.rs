@@ -16,6 +16,7 @@
 //! (a scalar, which is why 10 + 4 series — not 5 — make the 14).
 
 use crate::obs::SessionObs;
+use crate::MISSING_STAT;
 use vqoe_stats::quantiles::quantile_sorted;
 use vqoe_stats::Summary;
 
@@ -77,8 +78,15 @@ fn metric_series(obs: &SessionObs, metric: usize) -> Vec<f64> {
 }
 
 /// The fifteen summary statistics of one series, in [`REP_STATS`] order.
+///
+/// Same boundary policy as the stall set: empty series → all zeros,
+/// non-empty series with zero finite samples → [`MISSING_STAT`] across
+/// the block (undefined statistics must not alias a real `0.0`).
 fn fifteen_stats(series: &[f64]) -> [f64; 15] {
     let s = Summary::from_slice(series);
+    if !series.is_empty() && s.count == 0 {
+        return [MISSING_STAT; 15];
+    }
     let mut sorted: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
     sorted.sort_by(f64::total_cmp);
     let q = |p: f64| {
@@ -229,6 +237,23 @@ mod tests {
                     block[i] >= block[i - 1] - 1e-9,
                     "percentiles not monotone: {block:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn all_nan_metric_column_yields_the_sentinel_block() {
+        let mut o = obs();
+        for c in &mut o.chunks {
+            c.loss = f64::NAN;
+        }
+        let names = representation_feature_names();
+        let v = representation_features(&o);
+        for (name, &x) in names.iter().zip(&v) {
+            if name.starts_with("packet loss") {
+                assert_eq!(x, MISSING_STAT, "{name}");
+            } else {
+                assert_ne!(x, MISSING_STAT, "{name}");
             }
         }
     }

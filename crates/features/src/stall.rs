@@ -10,7 +10,8 @@
 //! the paper's ("chunk size minimum", "BDP mean", ...).
 
 use crate::obs::SessionObs;
-use vqoe_stats::quantiles::quantile;
+use crate::MISSING_STAT;
+use vqoe_stats::quantiles::try_quantile;
 use vqoe_stats::Summary;
 
 /// The seven §4.1 statistics, in a fixed order.
@@ -68,8 +69,16 @@ fn metric_series(obs: &SessionObs, metric: usize) -> Vec<f64> {
 }
 
 /// The seven summary statistics of one series, in [`STALL_STATS`] order.
+///
+/// An empty series keeps the all-zero convention (no chunks → no
+/// signal); a non-empty series whose every sample is non-finite has
+/// *undefined* statistics and yields [`MISSING_STAT`] across the block,
+/// so a corrupted metric column cannot alias a genuine zero.
 pub(crate) fn seven_stats(series: &[f64]) -> [f64; 7] {
     let s = Summary::from_slice(series);
+    if !series.is_empty() && s.count == 0 {
+        return [MISSING_STAT; 7];
+    }
     [s.min, s.max, s.mean, s.std_dev, s.p25, s.p50, s.p75]
 }
 
@@ -95,10 +104,15 @@ pub fn stall_feature(obs: &SessionObs, name: &str) -> Option<f64> {
     Some(stall_features(obs)[idx])
 }
 
-/// The 75th-percentile helper the harness uses for spot checks.
+/// The 75th-percentile helper the harness uses for spot checks. Follows
+/// the same boundary policy as the feature matrix: `0.0` for a chunkless
+/// session, [`MISSING_STAT`] when sizes exist but none is finite.
 pub fn chunk_size_percentile(obs: &SessionObs, q: f64) -> f64 {
     let sizes: Vec<f64> = obs.chunks.iter().map(|c| c.bytes).collect();
-    quantile(&sizes, q)
+    if sizes.is_empty() {
+        return 0.0;
+    }
+    try_quantile(&sizes, q).unwrap_or(MISSING_STAT)
 }
 
 #[cfg(test)]
@@ -176,6 +190,40 @@ mod tests {
         let v = stall_features(&SessionObs::default());
         assert_eq!(v.len(), 70);
         assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn all_nan_metric_column_cannot_alias_a_real_zero() {
+        // A session whose loss annotations are all NaN (broken tap
+        // field, chunks otherwise fine): the seven "packet loss" stats
+        // must be the MISSING_STAT sentinel, not 0.0 — a genuine
+        // loss-free session reports exactly 0.0 there.
+        let mut o = obs();
+        for c in &mut o.chunks {
+            c.loss = f64::NAN;
+        }
+        let names = stall_feature_names();
+        let broken = stall_features(&o);
+        for (name, &v) in names.iter().zip(&broken) {
+            if name.starts_with("packet loss") {
+                assert_eq!(v, MISSING_STAT, "{name} must be the sentinel");
+            } else {
+                assert_ne!(v, MISSING_STAT, "{name} wrongly flagged missing");
+            }
+        }
+        // The genuinely loss-free session keeps real zeros.
+        let mut clean = obs();
+        for c in &mut clean.chunks {
+            c.loss = 0.0;
+        }
+        assert_eq!(stall_feature(&clean, "packet loss mean"), Some(0.0));
+        // Same policy on the spot-check helper.
+        let mut sizes_gone = obs();
+        for c in &mut sizes_gone.chunks {
+            c.bytes = f64::NAN;
+        }
+        assert_eq!(chunk_size_percentile(&sizes_gone, 0.75), MISSING_STAT);
+        assert_eq!(chunk_size_percentile(&SessionObs::default(), 0.75), 0.0);
     }
 
     #[test]

@@ -6,13 +6,27 @@
 //! is class-balanced by downsampling while the *test* side keeps its
 //! natural distribution — "the instances in the classes are then
 //! restored to their original numbers for testing".
+//!
+//! Folds are mutually independent once assigned, so
+//! [`cross_validate_with`] fans them out over [`run_indexed`] and merges
+//! the per-fold prediction lists back in fold order: the aggregate
+//! confusion matrix is byte-identical to the sequential path at any
+//! worker count. Each fold derives its seeds through [`splitmix64`]
+//! (DESIGN.md §10) so a fold's tree family cannot collide with another
+//! fold's, or with the fold-assignment stream.
 
 use crate::dataset::Dataset;
 use crate::forest::{ForestConfig, RandomForest};
 use crate::metrics::ConfusionMatrix;
+use crate::par::{run_indexed, splitmix64, TrainConfig, SEED_STRIDE};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// Domain-separation tag mixed into a fold's seed before deriving its
+/// balanced-downsample RNG, so the balance stream and the forest's tree
+/// streams start from unrelated points.
+const BALANCE_STREAM: u64 = 0xBA1A_4CED_0000_0001;
 
 /// Stratified fold assignment: returns `k` disjoint row-index lists
 /// whose union is `0..y.len()`, each approximating the global class mix.
@@ -36,11 +50,39 @@ pub fn stratified_kfold(y: &[usize], k: usize, rng: &mut StdRng) -> Vec<Vec<usiz
     folds
 }
 
+/// Everything a cross-validation run produced, beyond the bare matrix:
+/// how many folds contributed, how many were silently unusable, and how
+/// much work was done — so callers (and `PipelineMetrics`) can tell a
+/// 10-fold estimate from a "10-fold" run that really scored 3 folds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvReport {
+    /// Aggregate confusion matrix over every scored fold.
+    pub matrix: ConfusionMatrix,
+    /// Folds that produced no predictions: empty test fold (`k` larger
+    /// than a class's row count), empty training side (`k == 1`), or a
+    /// balanced-training set that downsampled to nothing.
+    pub skipped_folds: usize,
+    /// Test-fold size per fold, in fold order (`0` for skipped folds —
+    /// also the per-fold work measure `StageSpan` ticks record).
+    pub fold_test_sizes: Vec<usize>,
+    /// Total trees fitted across the scored folds.
+    pub trees_fitted: usize,
+}
+
+impl CvReport {
+    /// Number of folds that actually contributed predictions.
+    pub fn scored_folds(&self) -> usize {
+        self.fold_test_sizes.len() - self.skipped_folds
+    }
+}
+
 /// Run k-fold cross-validation of a Random Forest over `data`,
 /// aggregating one confusion matrix across folds.
 ///
 /// `balance_training` applies the paper's balanced-train /
-/// natural-test protocol.
+/// natural-test protocol. Sequential reference path; see
+/// [`cross_validate_with`] for the parallel variant and the full
+/// [`CvReport`].
 pub fn cross_validate(
     data: &Dataset,
     k: usize,
@@ -48,13 +90,43 @@ pub fn cross_validate(
     balance_training: bool,
     seed: u64,
 ) -> ConfusionMatrix {
+    cross_validate_with(
+        data,
+        k,
+        forest_config,
+        balance_training,
+        seed,
+        TrainConfig::sequential(),
+    )
+    .matrix
+}
+
+/// [`cross_validate`] with an explicit worker policy, returning the full
+/// [`CvReport`].
+///
+/// Fold assignment consumes the `seed` stream exactly as before; each
+/// fold then derives `fs = splitmix64(seed + fold · SEED_STRIDE)` for
+/// its forest (`cfg.seed = fs`) and
+/// `splitmix64(fs ^ BALANCE_STREAM)` for its balanced-downsample RNG,
+/// making folds self-contained jobs. The report is byte-identical for
+/// every value of `train.workers`.
+pub fn cross_validate_with(
+    data: &Dataset,
+    k: usize,
+    forest_config: ForestConfig,
+    balance_training: bool,
+    seed: u64,
+    train: TrainConfig,
+) -> CvReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let folds = stratified_kfold(&data.y, k, &mut rng);
-    let mut matrix = ConfusionMatrix::new(data.class_names.clone());
-    for test_fold in 0..k {
+    // One fold = one job: predictions for its natural-distribution test
+    // side, or None when the fold is unusable. Inner forest fits stay
+    // sequential — the fold fan-out already saturates the workers.
+    let per_fold: Vec<Option<Vec<(usize, usize)>>> = run_indexed(k, train, |test_fold| {
         let test_rows = &folds[test_fold];
         if test_rows.is_empty() {
-            continue;
+            return None;
         }
         let train_rows: Vec<usize> = folds
             .iter()
@@ -63,25 +135,51 @@ pub fn cross_validate(
             .flat_map(|(_, rows)| rows.iter().copied())
             .collect();
         if train_rows.is_empty() {
-            continue;
+            return None;
         }
-        let mut train = data.subset(&train_rows);
+        let fs = splitmix64(seed.wrapping_add((test_fold as u64).wrapping_mul(SEED_STRIDE)));
+        let mut train_set = data.subset(&train_rows);
         if balance_training {
-            train = train.balanced_downsample(&mut rng);
+            let mut balance_rng = StdRng::seed_from_u64(splitmix64(fs ^ BALANCE_STREAM));
+            train_set = train_set.balanced_downsample(&mut balance_rng);
         }
-        if train.n_rows() == 0 {
-            continue;
+        if train_set.n_rows() == 0 {
+            return None;
         }
         let mut cfg = forest_config;
-        cfg.seed = forest_config.seed.wrapping_add(test_fold as u64);
-        let forest = RandomForest::fit(&train, cfg);
+        cfg.seed = fs;
+        let forest = RandomForest::fit(&train_set, cfg);
         let test = data.subset(test_rows);
         let preds = forest.predict_all(&test);
-        for (&a, &p) in test.y.iter().zip(preds.iter()) {
-            matrix.record(a, p);
+        Some(test.y.iter().copied().zip(preds).collect())
+    });
+    // Merge in fold order — the order predictions enter the matrix is
+    // part of the determinism contract.
+    let mut matrix = ConfusionMatrix::new(data.class_names.clone());
+    let mut skipped_folds = 0;
+    let mut fold_test_sizes = Vec::with_capacity(k);
+    let mut trees_fitted = 0;
+    for pairs in &per_fold {
+        match pairs {
+            Some(pairs) => {
+                fold_test_sizes.push(pairs.len());
+                trees_fitted += forest_config.n_trees;
+                for &(actual, pred) in pairs {
+                    matrix.record(actual, pred);
+                }
+            }
+            None => {
+                fold_test_sizes.push(0);
+                skipped_folds += 1;
+            }
         }
     }
-    matrix
+    CvReport {
+        matrix,
+        skipped_folds,
+        fold_test_sizes,
+        trees_fitted,
+    }
 }
 
 #[cfg(test)]
@@ -162,11 +260,95 @@ mod tests {
     }
 
     #[test]
+    fn parallel_cv_is_byte_identical_to_sequential() {
+        let d = dataset(140, 13);
+        let reference = cross_validate_with(
+            &d,
+            10,
+            ForestConfig::default(),
+            true,
+            42,
+            TrainConfig::sequential(),
+        );
+        for workers in [2usize, 7] {
+            let got = cross_validate_with(
+                &d,
+                10,
+                ForestConfig::default(),
+                true,
+                42,
+                TrainConfig::with_workers(workers),
+            );
+            assert_eq!(reference, got, "workers {workers}");
+        }
+        assert_eq!(reference.skipped_folds, 0);
+        assert_eq!(reference.scored_folds(), 10);
+        assert_eq!(reference.trees_fitted, 10 * ForestConfig::default().n_trees);
+    }
+
+    #[test]
     fn single_fold_degenerates_without_panicking() {
         let d = dataset(20, 10);
         // k=1: the only fold is the test fold, training side is empty →
-        // nothing is recorded, but nothing panics either.
-        let m = cross_validate(&d, 1, ForestConfig::default(), true, 12);
-        assert_eq!(m.total(), 0);
+        // nothing is recorded, but the skip is now visible.
+        let r = cross_validate_with(
+            &d,
+            1,
+            ForestConfig::default(),
+            true,
+            12,
+            TrainConfig::sequential(),
+        );
+        assert_eq!(r.matrix.total(), 0);
+        assert_eq!(r.skipped_folds, 1);
+        assert_eq!(r.scored_folds(), 0);
+        assert_eq!(r.fold_test_sizes, vec![0]);
+    }
+
+    #[test]
+    fn more_folds_than_rows_surfaces_the_skips() {
+        // 6 rows, k=12: at least 6 folds are empty on the test side and
+        // must be counted, while every row still gets scored once.
+        let d = dataset(6, 14);
+        let r = cross_validate_with(
+            &d,
+            12,
+            ForestConfig::default(),
+            true,
+            15,
+            TrainConfig::sequential(),
+        );
+        assert!(r.skipped_folds >= 6, "skipped {}", r.skipped_folds);
+        assert_eq!(r.fold_test_sizes.len(), 12);
+        assert_eq!(r.matrix.total() as usize, d.n_rows());
+        assert_eq!(
+            r.trees_fitted,
+            r.scored_folds() * ForestConfig::default().n_trees
+        );
+    }
+
+    #[test]
+    fn single_class_folds_still_score_every_row() {
+        // All rows share one class: the balanced training side is the
+        // whole training fold, predictions are trivially that class, and
+        // no fold is skipped.
+        let n = 30;
+        let d = Dataset::new(
+            vec!["f".into()],
+            vec!["only".into()],
+            (0..n).map(|i| vec![i as f64]).collect(),
+            vec![0; n],
+        );
+        let r = cross_validate_with(
+            &d,
+            5,
+            ForestConfig::default(),
+            true,
+            16,
+            TrainConfig::sequential(),
+        );
+        assert_eq!(r.skipped_folds, 0);
+        assert_eq!(r.matrix.total() as usize, n);
+        assert!((r.matrix.accuracy() - 1.0).abs() < 1e-12);
     }
 }

@@ -7,10 +7,15 @@
 //! trees' class-probability votes.
 
 use crate::dataset::Dataset;
+use crate::par::{run_indexed, TrainConfig, SEED_STRIDE};
 use crate::tree::{argmax, DecisionTree, TreeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// One tree-fit job's output: the fitted tree plus its out-of-bag
+/// probability votes as `(row, class probabilities)` pairs.
+type FittedTree = (DecisionTree, Vec<(usize, Vec<f64>)>);
 
 /// Forest hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,19 +51,40 @@ pub struct RandomForest {
     /// Feature names the forest was trained on — kept so a caller can
     /// verify it is scoring a matrix with the same schema.
     pub feature_names: Vec<String>,
-    /// Out-of-bag accuracy estimate, if it could be computed (every row
-    /// must have been out of bag for at least one tree). The free
+    /// Out-of-bag accuracy estimate over the rows that received at
+    /// least one OOB vote, or `None` when no row did (e.g. a single
+    /// bootstrap that happened to cover every row). The free
     /// generalization estimate bagging gives you — no held-out set
-    /// needed.
+    /// needed; check [`RandomForest::oob_coverage`] for how much of the
+    /// corpus backs it.
     pub oob_accuracy: Option<f64>,
+    /// Fraction of training rows with at least one out-of-bag vote.
+    /// 1.0 at the paper's 60 trees; drops toward 0 as `n_trees`
+    /// shrinks (a row is in-bag per tree with probability ≈ 1 − e⁻¹).
+    pub oob_coverage: f64,
 }
 
 impl RandomForest {
-    /// Fit a forest to `data`.
+    /// Fit a forest to `data` on the sequential reference path.
     ///
     /// # Panics
     /// Panics if `data` is empty or `n_trees == 0`.
     pub fn fit(data: &Dataset, config: ForestConfig) -> Self {
+        Self::fit_with(data, config, TrainConfig::sequential())
+    }
+
+    /// Fit a forest to `data`, fanning trees out over
+    /// `train.effective_workers` threads.
+    ///
+    /// Byte-identical to [`RandomForest::fit`] at any worker count:
+    /// each tree derives its own RNG stream from its index
+    /// (`seed + t ·` [`SEED_STRIDE`]), and OOB votes are accumulated
+    /// strictly in tree-index order so every float addition happens in
+    /// the sequential order.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or `n_trees == 0`.
+    pub fn fit_with(data: &Dataset, config: ForestConfig, train: TrainConfig) -> Self {
         assert!(data.n_rows() > 0, "cannot fit an empty dataset");
         assert!(config.n_trees > 0, "need at least one tree");
         let mut tree_config = config.tree;
@@ -66,16 +92,14 @@ impl RandomForest {
             tree_config.mtry = (data.n_features() as f64).sqrt().round().max(1.0) as usize;
         }
         let n = data.n_rows();
-        let mut trees = Vec::with_capacity(config.n_trees);
-        // Out-of-bag vote accumulation: rows a tree did not train on get
-        // that tree's vote toward their OOB prediction.
-        let mut oob_votes = vec![vec![0.0f64; data.n_classes()]; n];
-        let mut oob_counted = vec![false; n];
-        for t in 0..config.n_trees {
+        // Per-tree job: bootstrap, fit, and this tree's OOB probability
+        // votes. Trees are mutually independent once each owns its RNG
+        // stream, so the fan-out is embarrassingly parallel.
+        let fitted: Vec<FittedTree> = run_indexed(config.n_trees, train, |t| {
             let mut rng = StdRng::seed_from_u64(
                 config
                     .seed
-                    .wrapping_add((t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    .wrapping_add((t as u64).wrapping_mul(SEED_STRIDE)),
             );
             // Bootstrap resample (with replacement).
             let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
@@ -84,21 +108,37 @@ impl RandomForest {
                 in_bag[r] = true;
             }
             let tree = DecisionTree::fit(data, &rows, tree_config, &mut rng);
-            for r in 0..n {
-                if !in_bag[r] {
-                    for (acc, &p) in oob_votes[r].iter_mut().zip(tree.predict_proba(&data.x[r])) {
-                        *acc += p;
-                    }
-                    oob_counted[r] = true;
+            let votes: Vec<(usize, Vec<f64>)> = (0..n)
+                .filter(|&r| !in_bag[r])
+                .map(|r| (r, tree.predict_proba(&data.x[r]).to_vec()))
+                .collect();
+            (tree, votes)
+        });
+        // Reduce in tree-index order: float addition is not associative,
+        // so the accumulation order below IS the determinism contract.
+        let mut trees = Vec::with_capacity(config.n_trees);
+        let mut oob_votes = vec![vec![0.0f64; data.n_classes()]; n];
+        let mut oob_counted = vec![false; n];
+        for (tree, votes) in fitted {
+            for (r, probs) in votes {
+                for (acc, p) in oob_votes[r].iter_mut().zip(probs) {
+                    *acc += p;
                 }
+                oob_counted[r] = true;
             }
             trees.push(tree);
         }
-        let oob_accuracy = if oob_counted.iter().all(|&c| c) {
+        // OOB accuracy over the rows that actually received a vote:
+        // scoring only covered rows keeps the estimate meaningful at
+        // small n_trees instead of vanishing the moment one row stays
+        // in-bag everywhere.
+        let covered = oob_counted.iter().filter(|&&c| c).count();
+        let oob_coverage = covered as f64 / n as f64;
+        let oob_accuracy = if covered > 0 {
             let correct = (0..n)
-                .filter(|&r| argmax(&oob_votes[r]) == data.y[r])
+                .filter(|&r| oob_counted[r] && argmax(&oob_votes[r]) == data.y[r])
                 .count();
-            Some(correct as f64 / n as f64)
+            Some(correct as f64 / covered as f64)
         } else {
             None
         };
@@ -107,6 +147,7 @@ impl RandomForest {
             n_classes: data.n_classes(),
             feature_names: data.feature_names.clone(),
             oob_accuracy,
+            oob_coverage,
         }
     }
 
@@ -288,11 +329,10 @@ mod tests {
     }
 
     #[test]
-    fn oob_is_none_when_coverage_is_impossible() {
-        // A single tree leaves in-bag rows without any OOB vote only if
-        // the bootstrap happens to cover everything; with 2 rows and 1
-        // tree the chance of full coverage is 1/2 — pick a seed where
-        // the bootstrap covers both rows so no OOB votes exist.
+    fn oob_is_none_only_when_no_row_is_ever_out_of_bag() {
+        // With 2 rows and 1 tree the bootstrap covers both rows with
+        // probability 1/2 — pick a seed where it does: zero OOB votes
+        // exist, so there is nothing to score (None, coverage 0).
         let d = Dataset::new(
             vec!["f".into()],
             vec!["a".into(), "b".into()],
@@ -306,12 +346,81 @@ mod tests {
                 seed,
                 ..ForestConfig::default()
             };
-            if RandomForest::fit(&d, cfg).oob_accuracy.is_none() {
+            let f = RandomForest::fit(&d, cfg);
+            if f.oob_accuracy.is_none() {
+                assert_eq!(f.oob_coverage, 0.0, "None must mean zero coverage");
                 found_none = true;
                 break;
             }
         }
         assert!(found_none, "some bootstrap must cover all rows");
+    }
+
+    #[test]
+    fn single_tree_oob_scores_the_covered_rows() {
+        // Regression for the old behavior, where one never-OOB row
+        // silently nulled the whole estimate: a single tree on a real
+        // corpus leaves ~e⁻¹ of the rows out of bag — the estimate must
+        // exist and be scored over exactly those rows.
+        let d = blobs(100, 12);
+        let cfg = ForestConfig {
+            n_trees: 1,
+            ..ForestConfig::default()
+        };
+        let f = RandomForest::fit(&d, cfg);
+        assert!(
+            f.oob_accuracy.is_some(),
+            "partial coverage must still yield an estimate"
+        );
+        assert!(
+            f.oob_coverage > 0.0 && f.oob_coverage < 1.0,
+            "one bootstrap neither covers nothing nor everything: {}",
+            f.oob_coverage
+        );
+        // ≈ e⁻¹ of rows are out of bag for a single bootstrap.
+        assert!(
+            (f.oob_coverage - (-1.0f64).exp()).abs() < 0.15,
+            "coverage {} far from e^-1",
+            f.oob_coverage
+        );
+    }
+
+    #[test]
+    fn full_forest_reaches_full_oob_coverage() {
+        let d = blobs(150, 9);
+        let f = RandomForest::fit(&d, ForestConfig::default());
+        assert_eq!(f.oob_coverage, 1.0, "60 trees must cover every row");
+    }
+
+    #[test]
+    fn parallel_fit_is_byte_identical_to_sequential() {
+        use crate::par::TrainConfig;
+        let d = blobs(80, 13);
+        let reference =
+            RandomForest::fit_with(&d, ForestConfig::default(), TrainConfig::sequential());
+        for workers in [2usize, 7] {
+            let parallel = RandomForest::fit_with(
+                &d,
+                ForestConfig::default(),
+                TrainConfig::with_workers(workers),
+            );
+            assert_eq!(reference, parallel, "workers {workers}");
+            // Bit-level equality of the float surfaces, not just
+            // structural: OOB accuracy and importances are float sums
+            // whose order the reducer pins down.
+            assert_eq!(
+                reference.oob_accuracy.map(f64::to_bits),
+                parallel.oob_accuracy.map(f64::to_bits)
+            );
+            let (a, b) = (
+                reference.feature_importance(),
+                parallel.feature_importance(),
+            );
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! * The per-class TP rate / FP rate / Precision / Recall tables and
 //!   confusion matrices (Tables 3–4, 6–11) → [`metrics::ConfusionMatrix`]
 //!   and [`metrics::ClassReport`].
+//!
+//! Every training entry point has a `*_with` variant taking a
+//! [`par::TrainConfig`] worker policy; output is byte-identical to the
+//! sequential path at any worker count (see [`par`] and DESIGN.md §10).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,12 +34,16 @@ pub mod cv;
 pub mod dataset;
 pub mod forest;
 pub mod metrics;
+pub mod par;
 pub mod selection;
 pub mod tree;
 
-pub use cv::{cross_validate, stratified_kfold};
+pub use cv::{cross_validate, cross_validate_with, stratified_kfold, CvReport};
 pub use dataset::Dataset;
 pub use forest::{ForestConfig, RandomForest};
 pub use metrics::{ClassReport, ConfusionMatrix};
-pub use selection::{cfs_best_first, info_gain_ranking, RankedFeature};
+pub use par::TrainConfig;
+pub use selection::{
+    cfs_best_first, cfs_best_first_with, info_gain_ranking, info_gain_ranking_with, RankedFeature,
+};
 pub use tree::{DecisionTree, TreeConfig};

@@ -16,6 +16,7 @@
 //!   210 → 15 features.
 
 use crate::dataset::Dataset;
+use crate::par::{run_indexed, TrainConfig};
 use serde::{Deserialize, Serialize};
 use vqoe_stats::binning::{BinningStrategy, Discretizer};
 use vqoe_stats::info::{info_gain, symmetrical_uncertainty};
@@ -36,33 +37,42 @@ pub struct RankedFeature {
 }
 
 /// Discretize every feature column (equal-frequency bins) for the
-/// information-theoretic machinery.
-fn discretize_all(data: &Dataset) -> Vec<Vec<usize>> {
-    (0..data.n_features())
-        .map(|f| {
-            let col = data.column(f);
-            let disc = Discretizer::fit(
-                &col,
-                BinningStrategy::EqualFrequency {
-                    bins: DISCRETIZATION_BINS,
-                },
-            );
-            disc.transform(&col)
-        })
-        .collect()
+/// information-theoretic machinery. Columns are independent, so this
+/// fans out per feature.
+fn discretize_all(data: &Dataset, train: TrainConfig) -> Vec<Vec<usize>> {
+    run_indexed(data.n_features(), train, |f| {
+        let col = data.column(f);
+        let disc = Discretizer::fit(
+            &col,
+            BinningStrategy::EqualFrequency {
+                bins: DISCRETIZATION_BINS,
+            },
+        );
+        disc.transform(&col)
+    })
 }
 
 /// Rank all features by information gain, descending (ties broken by
-/// column order for determinism).
+/// column order for determinism). Sequential reference path; see
+/// [`info_gain_ranking_with`].
 pub fn info_gain_ranking(data: &Dataset) -> Vec<RankedFeature> {
-    let discretized = discretize_all(data);
-    let mut ranked: Vec<RankedFeature> = discretized
-        .iter()
+    info_gain_ranking_with(data, TrainConfig::sequential())
+}
+
+/// [`info_gain_ranking`] with an explicit worker policy; per-feature
+/// scores fan out, output is byte-identical at any worker count.
+pub fn info_gain_ranking_with(data: &Dataset, train: TrainConfig) -> Vec<RankedFeature> {
+    let discretized = discretize_all(data, train);
+    let gains = run_indexed(discretized.len(), train, |i| {
+        info_gain(&data.y, &discretized[i])
+    });
+    let mut ranked: Vec<RankedFeature> = gains
+        .into_iter()
         .enumerate()
-        .map(|(i, col)| RankedFeature {
+        .map(|(i, gain)| RankedFeature {
             index: i,
             name: data.feature_names[i].clone(),
-            gain: info_gain(&data.y, col),
+            gain,
         })
         .collect();
     ranked.sort_by(|a, b| {
@@ -75,7 +85,11 @@ pub fn info_gain_ranking(data: &Dataset) -> Vec<RankedFeature> {
 }
 
 /// CFS merit of a feature subset given precomputed correlations.
-fn merit(subset: &[usize], class_corr: &[f64], feat_corr: &dyn Fn(usize, usize) -> f64) -> f64 {
+fn merit(
+    subset: &[usize],
+    class_corr: &[f64],
+    feat_corr: &(dyn Fn(usize, usize) -> f64 + Sync),
+) -> f64 {
     let k = subset.len() as f64;
     if subset.is_empty() {
         return 0.0;
@@ -104,26 +118,40 @@ fn merit(subset: &[usize], class_corr: &[f64], feat_corr: &dyn Fn(usize, usize) 
 /// Returns the selected column indices, sorted by their class
 /// correlation (strongest first).
 pub fn cfs_best_first(data: &Dataset, max_stale: usize) -> Vec<usize> {
+    cfs_best_first_with(data, max_stale, TrainConfig::sequential())
+}
+
+/// [`cfs_best_first`] with an explicit worker policy.
+///
+/// The best-first walk itself is inherently sequential (each expansion
+/// depends on the frontier the last one produced), but the expensive
+/// part of one expansion — scoring every candidate subset — is not:
+/// candidates are generated in feature order, their merits fan out over
+/// [`run_indexed`], and the results are folded back in the same feature
+/// order, so the search trajectory (and therefore the selected subset)
+/// is byte-identical at any worker count.
+pub fn cfs_best_first_with(data: &Dataset, max_stale: usize, train: TrainConfig) -> Vec<usize> {
     let n = data.n_features();
     if n == 0 {
         return Vec::new();
     }
-    let discretized = discretize_all(data);
-    let class_corr: Vec<f64> = discretized
-        .iter()
-        .map(|col| symmetrical_uncertainty(col, &data.y))
-        .collect();
+    let discretized = discretize_all(data, train);
+    let class_corr: Vec<f64> = run_indexed(n, train, |f| {
+        symmetrical_uncertainty(&discretized[f], &data.y)
+    });
 
     // Feature–feature SU is computed lazily and memoized: the search
-    // touches only a small corner of the O(n²) matrix.
-    let cache = std::cell::RefCell::new(std::collections::HashMap::<(usize, usize), f64>::new());
+    // touches only a small corner of the O(n²) matrix. The mutex (not a
+    // RefCell) lets concurrent merit jobs share the memo; values are
+    // pure functions of the key, so racing writers agree.
+    let cache = parking_lot::Mutex::new(std::collections::HashMap::<(usize, usize), f64>::new());
     let feat_corr = |a: usize, b: usize| -> f64 {
         let key = if a < b { (a, b) } else { (b, a) };
-        if let Some(&v) = cache.borrow().get(&key) {
+        if let Some(&v) = cache.lock().get(&key) {
             return v;
         }
         let v = symmetrical_uncertainty(&discretized[key.0], &discretized[key.1]);
-        cache.borrow_mut().insert(key, v);
+        cache.lock().insert(key, v);
         v
     };
 
@@ -146,7 +174,10 @@ pub fn cfs_best_first(data: &Dataset, max_stale: usize) -> Vec<usize> {
         .map(|(i, _)| i)
     {
         let (_, subset) = frontier.swap_remove(pos);
-        let mut improved = false;
+        // Generate the expansion's candidate subsets in feature order
+        // (dedup against `visited` sequentially), then score them in a
+        // single fan-out.
+        let mut candidates: Vec<Vec<usize>> = Vec::new();
         for f in 0..n {
             if subset.contains(&f) {
                 continue;
@@ -154,10 +185,15 @@ pub fn cfs_best_first(data: &Dataset, max_stale: usize) -> Vec<usize> {
             let mut candidate = subset.clone();
             candidate.push(f);
             candidate.sort_unstable();
-            if !visited.insert(candidate.clone()) {
-                continue;
+            if visited.insert(candidate.clone()) {
+                candidates.push(candidate);
             }
-            let m = merit(&candidate, &class_corr, &feat_corr);
+        }
+        let merits = run_indexed(candidates.len(), train, |i| {
+            merit(&candidates[i], &class_corr, &feat_corr)
+        });
+        let mut improved = false;
+        for (candidate, m) in candidates.into_iter().zip(merits) {
             if m > best_merit + 1e-9 {
                 best_merit = m;
                 best_subset = candidate.clone();
@@ -309,6 +345,26 @@ mod tests {
         let r1 = info_gain_ranking(&d);
         let r2 = info_gain_ranking(&d);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn parallel_selection_matches_sequential_at_any_worker_count() {
+        let d = redundant_dataset(6);
+        let seq_sel = cfs_best_first_with(&d, 5, TrainConfig::sequential());
+        let seq_rank = info_gain_ranking_with(&d, TrainConfig::sequential());
+        for workers in [2usize, 7] {
+            let cfg = TrainConfig::with_workers(workers);
+            assert_eq!(
+                cfs_best_first_with(&d, 5, cfg),
+                seq_sel,
+                "workers {workers}"
+            );
+            assert_eq!(
+                info_gain_ranking_with(&d, cfg),
+                seq_rank,
+                "workers {workers}"
+            );
+        }
     }
 
     #[test]

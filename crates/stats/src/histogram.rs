@@ -15,6 +15,7 @@ pub struct Histogram {
     hi: f64,
     counts: Vec<u64>,
     total: u64,
+    non_finite: u64,
 }
 
 impl Histogram {
@@ -31,6 +32,7 @@ impl Histogram {
             hi,
             counts: vec![0; bins],
             total: 0,
+            non_finite: 0,
         }
     }
 
@@ -52,9 +54,16 @@ impl Histogram {
         Some(h)
     }
 
-    /// Record one observation. Non-finite values are ignored.
+    /// Record one observation.
+    ///
+    /// Non-finite values never enter a bin (naively, `NaN.max(0.0)`
+    /// inside [`bin_index`](Self::bin_index) would silently drop them
+    /// into bin 0, inflating the left tail); they are tallied separately
+    /// in [`non_finite`](Self::non_finite) so a polluted sample is
+    /// detectable rather than invisible.
     pub fn push(&mut self, x: f64) {
         if !x.is_finite() {
+            self.non_finite += 1;
             return;
         }
         let idx = self.bin_index(x);
@@ -73,9 +82,16 @@ impl Histogram {
         &self.counts
     }
 
-    /// Total number of recorded observations.
+    /// Total number of recorded (finite) observations.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Number of non-finite samples pushed at this histogram. These are
+    /// excluded from [`total`](Self::total), the bin counts, and the
+    /// fractions — they only show up here.
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
     }
 
     /// Bin fractions (counts / total); all-zero when empty.
@@ -147,6 +163,24 @@ mod tests {
         let mut h = Histogram::new(0.0, 1.0, 2);
         h.push(f64::NAN);
         assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_counted_but_never_binned() {
+        // Regression: NaN must not land in bin 0 (NaN.max(0.0) == 0.0
+        // would have put it there) and must stay out of every aggregate
+        // except the dedicated non_finite tally.
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.push(f64::NAN);
+        h.push(f64::INFINITY);
+        h.push(f64::NEG_INFINITY);
+        h.push(2.0);
+        assert_eq!(h.non_finite(), 3);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.counts()[0], 0, "NaN leaked into bin 0");
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+        let sum: f64 = h.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub use ecdf::Ecdf;
 pub use histogram::Histogram;
 pub use info::{conditional_entropy, entropy_of_labels, info_gain, symmetrical_uncertainty};
 pub use moments::{mean, population_std, sample_std, variance, OnlineMoments};
-pub use quantiles::{median, quantile, quantiles};
+pub use quantiles::{
+    median, quantile, quantile_sorted, quantiles, try_median, try_quantile, try_quantile_sorted,
+    try_quantiles,
+};
 
 /// A compact descriptive summary of a numeric sample.
 ///

@@ -7,53 +7,95 @@
 //! is consistent between training and evaluation, so we fix one — the
 //! ubiquitous type-7 rule `h = (n - 1) q` — and use it everywhere.
 
-/// Quantile `q ∈ [0, 1]` of `data` (unsorted; non-finite values ignored).
-///
-/// Returns `0.0` for an empty sample. `q` is clamped to `[0, 1]`.
-pub fn quantile(data: &[f64], q: f64) -> f64 {
+//! ## Undefined quantiles
+//!
+//! A quantile of an empty (or all-non-finite) sample is mathematically
+//! undefined. The `try_*` functions are the honest core: they return
+//! `None` in that case and `Some(v)` otherwise. The plain functions are
+//! convenience wrappers that collapse `None` to `0.0` — callers for whom
+//! `0.0` is a *possible real value* (the feature-matrix builders) must
+//! use the `try_*` forms and choose their own sentinel, otherwise a
+//! missing metric is indistinguishable from a genuinely zero one (see
+//! `vqoe_features::MISSING_STAT`).
+
+/// Quantile `q ∈ [0, 1]` of `data` (unsorted; non-finite values
+/// ignored), or `None` when no finite value exists. `q` is clamped to
+/// `[0, 1]`.
+pub fn try_quantile(data: &[f64], q: f64) -> Option<f64> {
     let mut finite: Vec<f64> = data.iter().copied().filter(|v| v.is_finite()).collect();
     if finite.is_empty() {
-        return 0.0;
+        return None;
     }
     finite.sort_by(f64::total_cmp);
-    quantile_sorted(&finite, q)
+    try_quantile_sorted(&finite, q)
 }
 
-/// Quantile of an **already sorted** slice of finite values.
+/// Quantile of an **already sorted** slice of finite values, or `None`
+/// when the slice is empty.
 ///
 /// This is the hot path used by feature construction, which sorts each
 /// metric once and then reads a dozen percentiles off it.
-pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+pub fn try_quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     if sorted.is_empty() {
-        return 0.0;
+        return None;
     }
     let q = q.clamp(0.0, 1.0);
     let h = (sorted.len() - 1) as f64 * q;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;
-    if lo == hi {
+    Some(if lo == hi {
         sorted[lo]
     } else {
         let frac = h - lo as f64;
         sorted[lo] + (sorted[hi] - sorted[lo]) * frac
-    }
+    })
 }
 
-/// Median (50th percentile) of `data`.
+/// Median (50th percentile) of `data`, or `None` when no finite value
+/// exists.
+pub fn try_median(data: &[f64]) -> Option<f64> {
+    try_quantile(data, 0.5)
+}
+
+/// Evaluate several quantiles in one sort, or `None` when no finite
+/// value exists. `qs` are fractions in `[0, 1]`; the result is aligned
+/// with `qs`.
+pub fn try_quantiles(data: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
+    let mut finite: Vec<f64> = data.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return None;
+    }
+    finite.sort_by(f64::total_cmp);
+    Some(
+        qs.iter()
+            .filter_map(|&q| try_quantile_sorted(&finite, q))
+            .collect(),
+    )
+}
+
+/// [`try_quantile`] with the undefined case collapsed to the `0.0`
+/// sentinel (see the module docs — do not use where `0.0` is a possible
+/// real value).
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    try_quantile(data, q).unwrap_or(0.0)
+}
+
+/// [`try_quantile_sorted`] with the undefined case collapsed to the
+/// `0.0` sentinel (see the module docs).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    try_quantile_sorted(sorted, q).unwrap_or(0.0)
+}
+
+/// [`try_median`] with the undefined case collapsed to the `0.0`
+/// sentinel (see the module docs).
 pub fn median(data: &[f64]) -> f64 {
     quantile(data, 0.5)
 }
 
-/// Evaluate several quantiles in one sort.
-///
-/// `qs` are fractions in `[0, 1]`; the result is aligned with `qs`.
+/// [`try_quantiles`] with the undefined case collapsed to `0.0`
+/// sentinels (see the module docs).
 pub fn quantiles(data: &[f64], qs: &[f64]) -> Vec<f64> {
-    let mut finite: Vec<f64> = data.iter().copied().filter(|v| v.is_finite()).collect();
-    if finite.is_empty() {
-        return vec![0.0; qs.len()];
-    }
-    finite.sort_by(f64::total_cmp);
-    qs.iter().map(|&q| quantile_sorted(&finite, q)).collect()
+    try_quantiles(data, qs).unwrap_or_else(|| vec![0.0; qs.len()])
 }
 
 #[cfg(test)]
@@ -65,6 +107,22 @@ mod tests {
     fn quantile_of_empty_is_zero() {
         assert_eq!(quantile(&[], 0.5), 0.0);
         assert_eq!(quantiles(&[], &[0.1, 0.9]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn try_forms_distinguish_undefined_from_zero() {
+        // The sentinel wrappers collapse both cases to 0.0; the try_*
+        // core must not.
+        assert_eq!(try_quantile(&[], 0.5), None);
+        assert_eq!(try_quantile(&[f64::NAN, f64::INFINITY], 0.5), None);
+        assert_eq!(try_quantile(&[0.0], 0.5), Some(0.0));
+        assert_eq!(try_quantiles(&[], &[0.1, 0.9]), None);
+        assert_eq!(
+            try_quantiles(&[0.0, 0.0], &[0.1, 0.9]),
+            Some(vec![0.0, 0.0])
+        );
+        assert_eq!(try_median(&[f64::NAN]), None);
+        assert_eq!(try_quantile_sorted(&[], 0.5), None);
     }
 
     #[test]

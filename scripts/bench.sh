@@ -11,6 +11,8 @@
 #   BENCH_pr3.json               machine-readable record (speedup_4v1)
 #   results/obs-overhead.txt     metrics-layer cost report
 #   BENCH_pr4.json               machine-readable record (overhead_pct)
+#   results/train-scaling.txt    training fan-out scaling report
+#   BENCH_pr5.json               machine-readable record (speedup_4v1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,6 +38,13 @@ echo "==> repro obs-overhead (quick mode)"
 
 echo "==> BENCH_pr4.json"
 cat BENCH_pr4.json
+
+echo "==> repro train-scaling (quick mode)"
+./target/release/repro train-scaling --smoke \
+  --bench-json BENCH_pr5.json --out results
+
+echo "==> BENCH_pr5.json"
+cat BENCH_pr5.json
 
 if [[ "$FULL" == "1" ]]; then
   echo "==> cargo bench -p vqoe-bench (Criterion)"
