@@ -1,0 +1,242 @@
+//! Grandfathered-findings baseline.
+//!
+//! New passes have to be able to land before every old finding they
+//! surface is fixed — otherwise the gate blocks its own improvement.
+//! The committed `analyze-baseline.toml` records known debt as
+//! `(file, rule) -> count` entries; at gate time the first `count`
+//! findings of that file/rule pair are *grandfathered* (reported, but
+//! not fatal) and anything beyond the count is **new** and fails the
+//! gate. Shrinking counts is the only allowed edit direction in review:
+//! the baseline is a ratchet, not a dumping ground.
+//!
+//! The format is a strict subset of TOML (parsed by hand — the analyzer
+//! depends on nothing):
+//!
+//! ```toml
+//! [[entry]]
+//! file = "crates/core/src/engine.rs"
+//! rule = "clone-heavy-handoff"
+//! count = 2
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::Finding;
+
+/// Grandfathered counts keyed by `(file, rule)`.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+/// A findings list split against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Applied {
+    /// Findings not covered by the baseline — these fail the gate.
+    pub fresh: Vec<Finding>,
+    /// Findings absorbed by baseline entries.
+    pub grandfathered: Vec<Finding>,
+    /// Baseline entries whose debt has (partly) been paid: the counts
+    /// on file no longer match any finding. Shrink or delete them.
+    pub stale_entries: Vec<(String, String, usize)>,
+}
+
+impl Baseline {
+    /// Load a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Parse baseline text (the TOML subset described in the module
+    /// docs). Unknown keys and malformed lines are errors: a gate file
+    /// that is silently half-read is worse than one that fails loudly.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        let mut current: Option<(Option<String>, Option<String>, Option<usize>)> = None;
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[entry]]" {
+                flush(&mut current, &mut entries, ln)?;
+                current = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", ln + 1));
+            };
+            let Some(cur) = current.as_mut() else {
+                return Err(format!("line {}: key outside [[entry]]", ln + 1));
+            };
+            match key.trim() {
+                "file" => cur.0 = Some(unquote(value.trim(), ln)?),
+                "rule" => cur.1 = Some(unquote(value.trim(), ln)?),
+                "count" => {
+                    cur.2 = Some(value.trim().parse::<usize>().map_err(|_| {
+                        format!("line {}: count must be a non-negative integer", ln + 1)
+                    })?)
+                }
+                other => return Err(format!("line {}: unknown key `{other}`", ln + 1)),
+            }
+        }
+        let end = text.lines().count();
+        flush(&mut current, &mut entries, end)?;
+        Ok(Baseline { entries })
+    }
+
+    /// Number of `(file, rule)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no debt is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Split `findings` into fresh vs grandfathered. For each
+    /// `(file, rule)` pair the first `count` findings (in the already
+    /// sorted order) are grandfathered; the rest are fresh.
+    pub fn apply(&self, findings: Vec<Finding>) -> Applied {
+        let mut used: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut out = Applied::default();
+        for f in findings {
+            let key = (f.file.clone(), f.rule.clone());
+            let budget = self.entries.get(&key).copied().unwrap_or(0);
+            let used_so_far = used.entry(key).or_insert(0);
+            if *used_so_far < budget {
+                *used_so_far += 1;
+                out.grandfathered.push(f);
+            } else {
+                out.fresh.push(f);
+            }
+        }
+        for (key, &count) in &self.entries {
+            let consumed = used.get(key).copied().unwrap_or(0);
+            if consumed < count {
+                out.stale_entries
+                    .push((key.0.clone(), key.1.clone(), count - consumed));
+            }
+        }
+        out
+    }
+
+    /// Render `findings` as a baseline file (for `--write-baseline`).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((&f.file, &f.rule)).or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# vqoe-analyze baseline: grandfathered findings, keyed by (file, rule).\n\
+             # New findings beyond these counts fail the gate. Counts may only\n\
+             # shrink — pay the debt down, never add to it.\n",
+        );
+        for ((file, rule), count) in counts {
+            out.push_str(&format!(
+                "\n[[entry]]\nfile = \"{file}\"\nrule = \"{rule}\"\ncount = {count}\n"
+            ));
+        }
+        out
+    }
+}
+
+fn flush(
+    current: &mut Option<(Option<String>, Option<String>, Option<usize>)>,
+    entries: &mut BTreeMap<(String, String), usize>,
+    ln: usize,
+) -> Result<(), String> {
+    let Some((file, rule, count)) = current.take() else {
+        return Ok(());
+    };
+    match (file, rule, count) {
+        (Some(f), Some(r), Some(c)) => {
+            entries.insert((f, r), c);
+            Ok(())
+        }
+        _ => Err(format!(
+            "line {}: [[entry]] needs file, rule and count",
+            ln + 1
+        )),
+    }
+}
+
+fn unquote(s: &str, ln: usize) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {}: expected a double-quoted string", ln + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_findings() -> Vec<Finding> {
+        vec![
+            Finding::new("a.rs", 1, "unwrap", "m"),
+            Finding::new("a.rs", 5, "unwrap", "m"),
+            Finding::new("b.rs", 2, "expect", "m"),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_through_render_and_parse() {
+        let rendered = Baseline::render(&sample_findings());
+        let parsed = Baseline::parse(&rendered).unwrap();
+        assert_eq!(parsed.len(), 2);
+        let applied = parsed.apply(sample_findings());
+        assert!(applied.fresh.is_empty(), "{:?}", applied.fresh);
+        assert_eq!(applied.grandfathered.len(), 3);
+        assert!(applied.stale_entries.is_empty());
+    }
+
+    #[test]
+    fn findings_beyond_the_count_are_fresh() {
+        let b =
+            Baseline::parse("[[entry]]\nfile = \"a.rs\"\nrule = \"unwrap\"\ncount = 1\n").unwrap();
+        let applied = b.apply(sample_findings());
+        assert_eq!(applied.grandfathered.len(), 1);
+        assert_eq!(applied.fresh.len(), 2);
+        // The first (lowest-line) finding is the grandfathered one.
+        assert_eq!(applied.grandfathered[0].line, 1);
+    }
+
+    #[test]
+    fn paid_down_debt_is_reported_stale() {
+        let b = Baseline::parse("[[entry]]\nfile = \"gone.rs\"\nrule = \"unwrap\"\ncount = 3\n")
+            .unwrap();
+        let applied = b.apply(vec![]);
+        assert_eq!(applied.stale_entries.len(), 1);
+        assert_eq!(applied.stale_entries[0].2, 3);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_baseline() {
+        let b = Baseline::load(Path::new("/nonexistent/analyze-baseline.toml")).unwrap();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn malformed_input_fails_loudly() {
+        assert!(Baseline::parse("file = \"a.rs\"\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nfile = \"a.rs\"\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nfile = a.rs\nrule = \"r\"\ncount = 1\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nfile = \"a\"\nrule = \"r\"\ncount = -1\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nnope = 3\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let b =
+            Baseline::parse("# header\n\n[[entry]]\nfile = \"a.rs\"\nrule = \"r\"\ncount = 2\n")
+                .unwrap();
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -41,22 +41,24 @@ pub fn check(root: &Path) -> Vec<Finding> {
             let Ok(text) = fs::read_to_string(&file) else {
                 continue;
             };
-            check_file(&rel(root, &file), &text, &mut findings);
+            let lines = lex_file(&text);
+            findings.extend(crate::filter_allows(
+                raw_findings(&rel(root, &file), &lines),
+                &lines,
+            ));
         }
     }
     findings
 }
 
-fn check_file(file: &str, text: &str, findings: &mut Vec<Finding>) {
-    let lines = lex_file(text);
+/// Per-file findings *before* `analyze:allow` filtering.
+pub(crate) fn raw_findings(file: &str, lines: &[Line]) -> Vec<Finding> {
+    let mut findings = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
         let Some((name, kind)) = map_field(line) else {
             continue;
         };
-        if line.allows.iter().any(|a| a == "unbounded-map") {
-            continue;
-        }
-        if has_eviction(&lines, &name) {
+        if has_eviction(lines, &name) {
             continue;
         }
         findings.push(Finding::new(
@@ -72,6 +74,7 @@ fn check_file(file: &str, text: &str, findings: &mut Vec<Finding>) {
             ),
         ));
     }
+    findings
 }
 
 /// Is this line a struct-field map declaration? Returns the field name
@@ -153,9 +156,8 @@ mod tests {
     use super::*;
 
     fn findings_in(src: &str) -> Vec<Finding> {
-        let mut out = Vec::new();
-        check_file("x.rs", src, &mut out);
-        out
+        let lines = lex_file(src);
+        crate::filter_allows(raw_findings("x.rs", &lines), &lines)
     }
 
     #[test]

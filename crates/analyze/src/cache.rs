@@ -1,0 +1,272 @@
+//! Incremental analysis cache.
+//!
+//! The line-level passes are a pure function of `(relative path, file
+//! content)` — crate scoping is derived from the path, and every
+//! cross-line heuristic (map names, scope ranges, stale markers) lives
+//! inside one file. That makes per-file memoization sound: the cache
+//! maps `(path, FNV-1a(content))` to the file's findings, keyed under a
+//! ruleset version so any rule change invalidates everything at once.
+//! Only the cross-file passes (`constants`, `hygiene` — cheap by
+//! construction) always run fresh.
+//!
+//! The on-disk format is a line-oriented text file (no dependencies,
+//! deterministic ordering via `BTreeMap`); a corrupt or version-skewed
+//! cache is simply discarded — the cache can only ever cost a rerun,
+//! never a wrong answer.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::Finding;
+
+/// Bump on any change to rules, severities, or pass scoping: stale
+/// logic must never serve cached findings.
+pub const RULESET_VERSION: &str = "ten-passes-v1";
+
+const MAGIC: &str = "vqoe-analyze-cache";
+
+#[derive(Debug, Clone)]
+struct Entry {
+    hash: u64,
+    findings: Vec<Finding>,
+}
+
+/// A loaded (or empty) per-file findings cache.
+#[derive(Debug, Default)]
+pub struct Cache {
+    path: PathBuf,
+    entries: BTreeMap<String, Entry>,
+    touched: BTreeSet<String>,
+    hits: usize,
+    misses: usize,
+}
+
+impl Cache {
+    /// Load the cache at `path`; missing, corrupt, or version-skewed
+    /// files yield an empty cache.
+    pub fn load(path: &Path) -> Cache {
+        let mut cache = Cache {
+            path: path.to_path_buf(),
+            ..Cache::default()
+        };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return cache;
+        };
+        let mut lines = text.lines();
+        let Some(header) = lines.next() else {
+            return cache;
+        };
+        let expected = format!("{MAGIC} 1 {RULESET_VERSION}");
+        if header != expected {
+            return cache;
+        }
+        while let Some(meta) = lines.next() {
+            // `<hex hash> <n findings> <path>`
+            let mut parts = meta.splitn(3, ' ');
+            let (Some(hash), Some(n), Some(path)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return cache;
+            };
+            let (Ok(hash), Ok(n)) = (u64::from_str_radix(hash, 16), n.parse::<usize>()) else {
+                return cache;
+            };
+            let mut findings = Vec::with_capacity(n);
+            for _ in 0..n {
+                let Some(rec) = lines.next() else {
+                    return cache;
+                };
+                let mut f = rec.splitn(3, '\t');
+                let (Some(line), Some(rule), Some(msg)) = (f.next(), f.next(), f.next()) else {
+                    return cache;
+                };
+                let Ok(line) = line.parse::<usize>() else {
+                    return cache;
+                };
+                findings.push(Finding::new(path, line, rule, unescape(msg)));
+            }
+            cache
+                .entries
+                .insert(path.to_string(), Entry { hash, findings });
+        }
+        cache
+    }
+
+    /// The findings for `(rel, text)`: served from the cache when the
+    /// content hash matches, computed via `compute` otherwise.
+    pub fn get_or_compute(
+        &mut self,
+        rel: &str,
+        text: &str,
+        compute: impl FnOnce() -> Vec<Finding>,
+    ) -> Vec<Finding> {
+        let hash = fnv1a(text.as_bytes());
+        self.touched.insert(rel.to_string());
+        if let Some(entry) = self.entries.get(rel) {
+            if entry.hash == hash {
+                self.hits += 1;
+                return entry.findings.clone();
+            }
+        }
+        self.misses += 1;
+        let findings = compute();
+        self.entries.insert(
+            rel.to_string(),
+            Entry {
+                hash,
+                findings: findings.clone(),
+            },
+        );
+        findings
+    }
+
+    /// Cache hits served this run.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Files that had to be analyzed this run.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Persist the cache, pruning entries for files this run never
+    /// touched (deleted or renamed sources). Errors are returned, not
+    /// fatal: a gate that cannot write its cache still gates.
+    pub fn save(&self) -> std::io::Result<()> {
+        let mut out = format!("{MAGIC} 1 {RULESET_VERSION}\n");
+        for (path, entry) in &self.entries {
+            if !self.touched.contains(path) {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:016x} {} {}\n",
+                entry.hash,
+                entry.findings.len(),
+                path
+            ));
+            for f in &entry.findings {
+                out.push_str(&format!("{}\t{}\t{}\n", f.line, f.rule, escape(&f.message)));
+            }
+        }
+        if let Some(parent) = self.path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&self.path, out)
+    }
+}
+
+/// FNV-1a, the standard 64-bit offset/prime pair.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "vqoe-analyze-cache-test-{tag}-{}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn second_lookup_with_same_content_hits() {
+        let mut c = Cache::default();
+        let compute = || vec![Finding::new("a.rs", 3, "unwrap", "msg")];
+        let first = c.get_or_compute("a.rs", "fn f() {}", compute);
+        let second = c.get_or_compute("a.rs", "fn f() {}", || panic!("must not recompute"));
+        assert_eq!(first, second);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn changed_content_misses() {
+        let mut c = Cache::default();
+        c.get_or_compute("a.rs", "v1", Vec::new);
+        c.get_or_compute("a.rs", "v2", Vec::new);
+        assert_eq!((c.hits(), c.misses()), (0, 2));
+    }
+
+    #[test]
+    fn roundtrips_through_disk() {
+        let path = temp_path("roundtrip");
+        let mut c = Cache::load(&path);
+        c.get_or_compute("a.rs", "text", || {
+            vec![Finding::new("a.rs", 1, "unwrap", "tab\tand\nnewline")]
+        });
+        c.save().unwrap();
+        let mut reloaded = Cache::load(&path);
+        let got = reloaded.get_or_compute("a.rs", "text", || panic!("must hit"));
+        assert_eq!(got[0].message, "tab\tand\nnewline");
+        assert_eq!(reloaded.hits(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn untouched_entries_are_pruned_on_save() {
+        let path = temp_path("prune");
+        let mut c = Cache::load(&path);
+        c.get_or_compute("keep.rs", "x", Vec::new);
+        c.get_or_compute("gone.rs", "y", Vec::new);
+        c.save().unwrap();
+        let mut second = Cache::load(&path);
+        second.get_or_compute("keep.rs", "x", || panic!("must hit"));
+        second.save().unwrap();
+        let third = Cache::load(&path);
+        assert_eq!(third.entries.len(), 1);
+        assert!(third.entries.contains_key("keep.rs"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_or_skewed_cache_is_discarded() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "vqoe-analyze-cache 1 other-version\njunk\n").unwrap();
+        let c = Cache::load(&path);
+        assert!(c.entries.is_empty());
+        std::fs::write(&path, "not a cache at all").unwrap();
+        let c = Cache::load(&path);
+        assert!(c.entries.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -17,14 +17,14 @@
 use std::fs;
 use std::path::Path;
 
-use crate::lexer::lex_file;
+use crate::lexer::{lex_file, Line};
 use crate::walk::{member_crates, rel, rust_sources};
 use crate::Finding;
 
 /// Crates whose whole purpose is wall-clock measurement; every other
 /// member crate (including binaries) must go through `vqoe_obs::Clock`
 /// or carry an explicit `analyze:allow(raw-wall-clock)` marker.
-const EXEMPT_CRATES: &[&str] = &["bench"];
+pub(crate) const EXEMPT_CRATES: &[&str] = &["bench"];
 
 /// Run the raw-wall-clock pass over the workspace at `root`.
 pub fn check(root: &Path) -> Vec<Finding> {
@@ -37,17 +37,20 @@ pub fn check(root: &Path) -> Vec<Finding> {
             let Ok(text) = fs::read_to_string(&file) else {
                 continue;
             };
-            check_file(&rel(root, &file), &text, &mut findings);
+            let lines = lex_file(&text);
+            findings.extend(crate::filter_allows(
+                raw_findings(&rel(root, &file), &lines),
+                &lines,
+            ));
         }
     }
     findings
 }
 
-fn check_file(file: &str, text: &str, findings: &mut Vec<Finding>) {
-    for (idx, line) in lex_file(text).iter().enumerate() {
-        if line.allows.iter().any(|a| a == "raw-wall-clock") {
-            continue;
-        }
+/// Per-file findings *before* `analyze:allow` filtering.
+pub(crate) fn raw_findings(file: &str, lines: &[Line]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
         if let Some(what) = raw_clock_use(&line.code) {
             findings.push(Finding::new(
                 file,
@@ -61,6 +64,7 @@ fn check_file(file: &str, text: &str, findings: &mut Vec<Finding>) {
             ));
         }
     }
+    findings
 }
 
 /// The raw clock token this line touches, if any. `SystemTime` alone is
@@ -104,9 +108,8 @@ mod tests {
     use super::*;
 
     fn findings_in(src: &str) -> Vec<Finding> {
-        let mut out = Vec::new();
-        check_file("x.rs", src, &mut out);
-        out
+        let lines = lex_file(src);
+        crate::filter_allows(raw_findings("x.rs", &lines), &lines)
     }
 
     #[test]

@@ -45,21 +45,25 @@ pub fn check(root: &Path) -> Vec<Finding> {
             let Ok(text) = fs::read_to_string(&file) else {
                 continue;
             };
-            check_file(&rel(root, &file), &text, &mut findings);
+            let lines = lex_file(&text);
+            findings.extend(crate::filter_allows(
+                raw_findings(&rel(root, &file), &lines),
+                &lines,
+            ));
         }
     }
     findings
 }
 
-fn check_file(file: &str, text: &str, findings: &mut Vec<Finding>) {
-    let lines = lex_file(text);
-    let maps = hashmap_names(&lines);
+/// Per-file findings *before* `analyze:allow` filtering (the stale-allow
+/// pass compares markers against these).
+pub(crate) fn raw_findings(file: &str, lines: &[Line]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let maps = hashmap_names(lines);
     for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
         let mut push = |rule: &str, message: String| {
-            if !line.allows.iter().any(|a| a == rule) {
-                findings.push(Finding::new(file, lineno, rule, message));
-            }
+            findings.push(Finding::new(file, lineno, rule, message));
         };
         if contains_token(&line.code, "thread_rng") {
             push(
@@ -95,6 +99,7 @@ fn check_file(file: &str, text: &str, findings: &mut Vec<Finding>) {
             }
         }
     }
+    findings
 }
 
 /// Identifiers declared as `HashMap` in this file: `let`/`let mut`
@@ -203,9 +208,8 @@ mod tests {
     use super::*;
 
     fn findings_in(src: &str) -> Vec<Finding> {
-        let mut out = Vec::new();
-        check_file("x.rs", src, &mut out);
-        out
+        let lines = lex_file(src);
+        crate::filter_allows(raw_findings("x.rs", &lines), &lines)
     }
 
     #[test]

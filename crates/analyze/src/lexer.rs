@@ -142,7 +142,14 @@ fn lex_lines(source: &str) -> Vec<Line> {
                 }
             }
             State::Str => {
-                if c == '\\' {
+                if c == '\\' && next == Some('\n') {
+                    // String continuation: a `\` immediately before the
+                    // line break. Consume only the backslash so the
+                    // top-of-loop newline handling still emits the
+                    // physical line — otherwise every later line number
+                    // in the file would drift by one.
+                    i += 1;
+                } else if c == '\\' {
                     i += 2;
                 } else if c == '"' {
                     code.push('"');

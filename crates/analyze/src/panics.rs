@@ -18,7 +18,7 @@
 use std::fs;
 use std::path::Path;
 
-use crate::lexer::lex_file;
+use crate::lexer::{lex_file, Line};
 use crate::walk::{rel, rust_sources};
 use crate::{Finding, PANIC_CRATES};
 
@@ -31,22 +31,26 @@ pub fn check(root: &Path) -> Vec<Finding> {
             let Ok(text) = fs::read_to_string(&file) else {
                 continue;
             };
-            check_file(&rel(root, &file), &text, &mut findings);
+            let lines = lex_file(&text);
+            findings.extend(crate::filter_allows(
+                raw_findings(&rel(root, &file), &lines),
+                &lines,
+            ));
         }
     }
     findings
 }
 
-fn check_file(file: &str, text: &str, findings: &mut Vec<Finding>) {
-    for (idx, line) in lex_file(text).iter().enumerate() {
+/// Per-file findings *before* `analyze:allow` filtering.
+pub(crate) fn raw_findings(file: &str, lines: &[Line]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
         let lineno = idx + 1;
         let mut push = |rule: &str, message: String| {
-            if !line.allows.iter().any(|a| a == rule) {
-                findings.push(Finding::new(file, lineno, rule, message));
-            }
+            findings.push(Finding::new(file, lineno, rule, message));
         };
         if line.code.contains(".unwrap()") {
             let message = if line.code.contains("partial_cmp") {
@@ -73,6 +77,7 @@ fn check_file(file: &str, text: &str, findings: &mut Vec<Finding>) {
             );
         }
     }
+    findings
 }
 
 #[cfg(test)]
@@ -80,9 +85,8 @@ mod tests {
     use super::*;
 
     fn findings_in(src: &str) -> Vec<Finding> {
-        let mut out = Vec::new();
-        check_file("x.rs", src, &mut out);
-        out
+        let lines = lex_file(src);
+        crate::filter_allows(raw_findings("x.rs", &lines), &lines)
     }
 
     #[test]

@@ -3,28 +3,44 @@
 //! The JSON writer is hand-rolled (a few dozen lines) because the
 //! analyzer must not depend on anything — not even the workspace's own
 //! vendored `serde_json` — so it keeps building when everything else is
-//! broken.
+//! broken. SARIF output shares the same escaping helper (see
+//! [`crate::sarif`]).
 
-use crate::Finding;
+use crate::{severity_of, Finding, Severity};
 
-/// `file:line: [rule] message`, one finding per line, plus a summary.
+/// `file:line: [rule] message`, one finding per line (warn-severity
+/// findings carry a `warning:` prefix), plus a summary.
 pub fn render_text(findings: &[Finding]) -> String {
     let mut out = String::new();
+    let mut warnings = 0usize;
     for f in findings {
+        let prefix = match severity_of(&f.rule) {
+            Severity::Deny => "",
+            Severity::Warn => {
+                warnings += 1;
+                "warning: "
+            }
+        };
         out.push_str(&format!(
-            "{}:{}: [{}] {}\n",
-            f.file, f.line, f.rule, f.message
+            "{}:{}: {}[{}] {}\n",
+            f.file, f.line, prefix, f.rule, f.message
         ));
     }
+    let violations = findings.len() - warnings;
     if findings.is_empty() {
         out.push_str("vqoe-analyze: all checks passed\n");
+    } else if warnings == 0 {
+        out.push_str(&format!("vqoe-analyze: {violations} violation(s)\n"));
     } else {
-        out.push_str(&format!("vqoe-analyze: {} violation(s)\n", findings.len()));
+        out.push_str(&format!(
+            "vqoe-analyze: {violations} violation(s), {warnings} warning(s)\n"
+        ));
     }
     out
 }
 
-/// `{"count": N, "findings": [{"file", "line", "rule", "message"}, ...]}`.
+/// `{"count": N, "findings": [{"file", "line", "rule", "severity",
+/// "message"}, ...]}`.
 pub fn render_json(findings: &[Finding]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"count\": {},\n", findings.len()));
@@ -33,11 +49,16 @@ pub fn render_json(findings: &[Finding]) -> String {
         if i > 0 {
             out.push(',');
         }
+        let severity = match severity_of(&f.rule) {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        };
         out.push_str(&format!(
-            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"severity\": {}, \"message\": {}}}",
             json_string(&f.file),
             f.line,
             json_string(&f.rule),
+            json_string(severity),
             json_string(&f.message)
         ));
     }
@@ -48,7 +69,7 @@ pub fn render_json(findings: &[Finding]) -> String {
     out
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -87,11 +108,23 @@ mod tests {
     }
 
     #[test]
+    fn warn_findings_are_prefixed_and_counted_separately() {
+        let findings = vec![
+            Finding::new("a.rs", 1, "unwrap", "m"),
+            Finding::new("a.rs", 2, "clone-heavy-handoff", "m"),
+        ];
+        let text = render_text(&findings);
+        assert!(text.contains("a.rs:2: warning: [clone-heavy-handoff]"));
+        assert!(text.contains("1 violation(s), 1 warning(s)"));
+    }
+
+    #[test]
     fn json_escapes_and_counts() {
         let json = render_json(&sample());
         assert!(json.contains("\"count\": 1"));
         assert!(json.contains("a \\\"quoted\\\" message"));
         assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\"severity\": \"deny\""));
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! SARIF 2.1.0 output.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is what code
+//! hosts and IDEs ingest to annotate diffs with findings; emitting it
+//! lets the ten-pass gate surface inline on review instead of only in a
+//! CI log. The writer is hand-rolled on the same escaping helper as the
+//! JSON renderer — one `run`, one `tool.driver` carrying the full rule
+//! table (with default severity levels), one `result` per finding.
+
+use crate::report::json_string;
+use crate::{severity_of, Finding, Severity, RULES};
+
+/// Render findings as a SARIF 2.1.0 log.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"vqoe-analyze\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/vqoe-analyze\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, rule) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \
+             \"defaultConfiguration\": {{\"level\": {}}}}}",
+            json_string(rule.id),
+            json_string(rule.summary),
+            json_string(level(rule.severity)),
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            json_string(&f.rule),
+            json_string(level(severity_of(&f.rule))),
+            json_string(&f.message),
+            json_string(&f.file),
+            f.line,
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Deny => "error",
+        Severity::Warn => "warning",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_carries_schema_rules_and_results() {
+        let findings = vec![Finding::new(
+            "crates/x/src/lib.rs",
+            7,
+            "unwrap",
+            "a \"quoted\" message",
+        )];
+        let s = render(&findings);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("sarif-schema-2.1.0.json"));
+        assert!(s.contains("\"id\": \"lock-across-handoff\""));
+        assert!(s.contains("\"ruleId\": \"unwrap\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("a \\\"quoted\\\" message"));
+        // The warn-severity rule maps to SARIF's `warning` level.
+        assert!(s.contains("\"level\": \"warning\""));
+    }
+
+    #[test]
+    fn empty_findings_still_emit_a_valid_run() {
+        let s = render(&[]);
+        assert!(s.contains("\"results\": []"));
+        assert!(s.contains("\"name\": \"vqoe-analyze\""));
+    }
+}

@@ -53,6 +53,27 @@ pub fn member_crates(root: &Path) -> Vec<(String, PathBuf)> {
     out
 }
 
+/// Crate source directories: every `crates/<name>` directory, as
+/// `(name, dir)` pairs in sorted name order. Unlike [`member_crates`]
+/// this does not require a `Cargo.toml` — the line-level passes scan
+/// fixture trees that carry bare `src/` layouts.
+pub fn crate_dirs(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(root.join("crates")) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        if dir.is_dir() {
+            if let Some(name) = dir.file_name().and_then(|n| n.to_str()) {
+                out.push((name.to_string(), dir.clone()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
 /// `path` relative to `root`, with forward slashes, for diagnostics.
 pub fn rel(root: &Path, path: &Path) -> String {
     let s = path.strip_prefix(root).unwrap_or(path).to_string_lossy();

@@ -1,0 +1,2 @@
+//! Fixture: the 70-dim labelled stall dataset and the
+//! 210-dim labelled representation dataset.

@@ -1,0 +1,7 @@
+//! Fixture crate docs:
+//! 7 summary statistics over each of the 10 Table-1 metrics = 70 features.
+//! 15 statistics over 14 series (with *cumulative-sum throughput*) = 210 features.
+
+pub mod labels;
+pub mod representation;
+pub mod stall;

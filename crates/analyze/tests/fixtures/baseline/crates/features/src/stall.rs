@@ -1,0 +1,16 @@
+//! Fixture §4.1: ten metrics × seven statistics = 70 features.
+
+pub const STALL_STATS: [&str; 7] = ["minimum", "maximum", "mean", "std", "25%", "50%", "75%"];
+
+pub const STALL_METRICS: [&str; 10] = [
+    "RTT minimum",
+    "RTT average",
+    "RTT maximum",
+    "BDP",
+    "BIF average",
+    "BIF maximum",
+    "packet loss",
+    "packet retransmissions",
+    "chunk size",
+    "chunk time",
+];

@@ -1,0 +1,6 @@
+//! Baseline fixture: one unwrap violation, grandfathered by the
+//! `analyze-baseline.toml` committed at this fixture's root.
+
+fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,1 @@
+//! Fixture: the score threshold is calibrated (the paper's "500").

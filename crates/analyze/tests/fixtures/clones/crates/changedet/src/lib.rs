@@ -1,0 +1,4 @@
+//! Fixture: a change fires when the CUSUM score exceeds a threshold
+//! (500 in its units).
+
+pub mod detector;

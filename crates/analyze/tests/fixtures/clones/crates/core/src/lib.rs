@@ -1,0 +1,51 @@
+//! Clones fixture: a heavy clone inside a send loop and a heavy
+//! `.to_vec()` inside a fan-out job, plus moved / light / out-of-loop /
+//! allow-marked look-alikes that must stay silent.
+
+fn broadcast(sessions: &[ReassembledSession], tx: &Sender<ReassembledSession>) {
+    for s in sessions {
+        tx.send(s.clone()).ok();
+    }
+}
+
+fn fan(entries: &[WeblogEntry]) {
+    run_indexed(4, cfg, |i| {
+        let mine = entries.to_vec();
+        work(i, mine)
+    });
+}
+
+fn broadcast_moved(sessions: Vec<ReassembledSession>, tx: &Sender<ReassembledSession>) {
+    for s in sessions {
+        tx.send(s).ok();
+    }
+}
+
+fn broadcast_light(ids: &[u64], tx: &Sender<u64>) {
+    for id in ids {
+        tx.send(id.clone()).ok();
+    }
+}
+
+fn clone_outside_loop(template: &ReassembledSession, tx: &Sender<u64>) {
+    let copy = template.clone();
+    for i in 0..copy.chunks.len() {
+        tx.send(i as u64).ok();
+    }
+}
+
+fn broadcast_allowed(sessions: &[ReassembledSession], tx: &Sender<ReassembledSession>) {
+    for s in sessions {
+        // cold retry path, bounded by the cap. analyze:allow(clone-heavy-handoff)
+        tx.send(s.clone()).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_clone_freely(traces: &[SessionTrace]) {
+        for t in traces {
+            tx.send(t.clone()).ok();
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture labelling rules: "when the RR is over 0.1, users abandon".
+
+pub const SEVERE_RR_THRESHOLD: f64 = 0.1;
+
+pub enum StallClass {
+    NoStalls,
+    Mild,
+    Severe,
+}
+
+impl StallClass {
+    pub fn names() -> Vec<String> {
+        vec![
+            "no stalls".to_string(),
+            "mild stalls".to_string(),
+            "severe stalls".to_string(),
+        ]
+    }
+}
+
+pub enum RqClass {
+    Ld,
+    Sd,
+    Hd,
+}
+
+impl RqClass {
+    pub fn names() -> Vec<String> {
+        vec!["LD".to_string(), "SD".to_string(), "HD".to_string()]
+    }
+}

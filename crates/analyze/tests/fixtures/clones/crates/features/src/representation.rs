@@ -1,0 +1,23 @@
+//! Fixture §4.2: 14 series × 15 statistics = 210.
+
+pub const REP_STATS: [&str; 15] = [
+    "minimum", "mean", "maximum", "std", "5%", "10%", "15%", "20%", "25%", "50%", "75%", "80%",
+    "85%", "90%", "95%",
+];
+
+pub const REP_METRICS: [&str; 14] = [
+    "RTT minimum",
+    "RTT average",
+    "RTT maximum",
+    "BDP",
+    "BIF average",
+    "BIF maximum",
+    "packet loss",
+    "packet retransmissions",
+    "chunk size",
+    "chunk time",
+    "chunk avg size",
+    "chunk Δsize",
+    "chunk Δt",
+    "cumsum throughput",
+];

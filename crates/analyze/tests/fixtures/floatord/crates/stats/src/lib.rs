@@ -1,0 +1,41 @@
+//! Floatord fixture: a float reduction chained onto a HashMap walk
+//! (shape 1) and a float `+=` inside a loop over one (shape 2), plus
+//! ordered / integer / allow-marked look-alikes that must stay silent.
+
+fn mean_score(scores: &HashMap<u64, f64>) -> f64 {
+    scores.values().sum::<f64>() / scores.len() as f64
+}
+
+fn total_weight(weights: &HashMap<u32, f32>) -> f32 {
+    let mut acc = 0.0f32;
+    for (_k, w) in weights {
+        acc += w;
+    }
+    acc
+}
+
+fn ordered_total(ranked: &BTreeMap<u64, f64>) -> f64 {
+    ranked.values().sum::<f64>()
+}
+
+fn count_total(counts: &HashMap<u64, u64>) -> u64 {
+    counts.values().sum::<u64>()
+}
+
+fn sorted_total(scores: &HashMap<u64, f64>) -> f64 {
+    let mut keys: Vec<u64> = scores.keys().copied().collect();
+    keys.sort_unstable();
+    keys.iter().map(|k| scores[k]).sum::<f64>()
+}
+
+fn allowed_total(scores: &HashMap<u64, f64>) -> f64 {
+    // re-sorted before comparison downstream. analyze:allow(float-reduce-order)
+    scores.values().sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_may_sum_however_they_like(m: &HashMap<u64, f64>) -> f64 {
+        m.values().sum::<f64>()
+    }
+}

@@ -1,0 +1,51 @@
+//! Locks fixture: one guard live across a channel send (shape 1), one
+//! lock taken inside a spawned worker body (shape 2), plus clean and
+//! allow-marked look-alikes that must stay silent.
+
+fn ship(m: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let guard = m.lock();
+    tx.send(guard[0]).ok();
+}
+
+fn fan(out: &Mutex<Vec<u64>>) {
+    crossbeam::thread::scope(|scope| {
+        scope.spawn(|_| {
+            out.lock().push(1);
+        });
+    })
+    .ok();
+}
+
+fn ship_clean(m: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let guard = m.lock();
+    let v = guard[0];
+    drop(guard);
+    tx.send(v).ok();
+}
+
+fn ship_narrow(m: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let v = {
+        let guard = m.lock();
+        guard[0]
+    };
+    tx.send(v).ok();
+}
+
+fn ship_allowed(m: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let guard = m.lock();
+    // single consumer on a bounded queue. analyze:allow(lock-across-handoff)
+    tx.send(guard[0]).ok();
+}
+
+fn io_read_is_not_a_lock(stream: &mut TcpStream, tx: &Sender<usize>) {
+    let n = stream.read();
+    tx.send(n).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_synchronize_however_they_like() {
+        let g = m.lock();
+        tx.send(*g).ok();
+    }
+}

@@ -1,0 +1,30 @@
+//! Stale-allow fixture: a live marker (stays), a dead marker (flagged),
+//! a typo'd rule name (flagged), a manifest-level rule (skipped), and a
+//! self-suppressed dead marker (skipped).
+//!
+//! Doc-comment mentions of `analyze:allow(unwrap)` are not markers.
+
+fn live(v: &[u64]) -> u64 {
+    // first element guaranteed by the caller. analyze:allow(unwrap)
+    *v.first().unwrap()
+}
+
+fn dead() -> u64 {
+    // analyze:allow(unwrap)
+    42
+}
+
+fn typo() -> u64 {
+    // analyze:allow(unwarp)
+    7
+}
+
+fn manifest_rule_is_skipped() -> u64 {
+    // analyze:allow(workspace-lints)
+    8
+}
+
+fn self_suppressed() -> u64 {
+    // analyze:allow(stale-allow) analyze:allow(panic)
+    9
+}

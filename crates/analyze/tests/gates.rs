@@ -5,7 +5,10 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use vqoe_analyze::{bounded, clock, constants, determinism, hygiene, panics, run_all, Finding};
+use vqoe_analyze::{
+    bounded, clock, clones, constants, determinism, floatord, hygiene, locks, panics, run_all,
+    staleallow, Finding,
+};
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -125,8 +128,89 @@ fn clock_fixture_flags_raw_wall_clock_outside_allowlist() {
 }
 
 #[test]
+fn locks_fixture_flags_both_shapes_and_spares_lookalikes() {
+    let findings = locks::check(&fixture("locks"));
+    assert_eq!(
+        rules(&findings),
+        vec!["lock-across-handoff", "lock-across-handoff"],
+        "{findings:?}"
+    );
+    // Shape 1: the guard live across the send.
+    assert_eq!(findings[0].line, 7);
+    assert!(findings[0].message.contains("`guard`"));
+    assert!(findings[0].message.contains("send"));
+    // Shape 2: the lock inside the spawned worker body.
+    assert_eq!(findings[1].line, 13);
+    assert!(findings[1].message.contains("fan-out"));
+    // The dropped-guard, narrow-scope, io::Read, allow-marked and
+    // test-module sites all stayed silent.
+}
+
+#[test]
+fn floatord_fixture_flags_both_shapes_and_spares_lookalikes() {
+    let findings = floatord::check(&fixture("floatord"));
+    assert_eq!(
+        rules(&findings),
+        vec!["float-reduce-order", "float-reduce-order"],
+        "{findings:?}"
+    );
+    // Shape 1: the `.sum::<f64>()` chained onto the HashMap walk.
+    assert_eq!(findings[0].line, 6);
+    assert!(findings[0].message.contains("sum"));
+    // Shape 2: the `+=` inside the loop over the HashMap.
+    assert_eq!(findings[1].line, 12);
+    assert!(findings[1].message.contains("+="));
+    // BTreeMap, integer, sorted-keys, allow-marked and test sites all
+    // stayed silent.
+}
+
+#[test]
+fn clones_fixture_flags_heavy_clones_and_spares_lookalikes() {
+    let findings = clones::check(&fixture("clones"));
+    assert_eq!(
+        rules(&findings),
+        vec!["clone-heavy-handoff", "clone-heavy-handoff"],
+        "{findings:?}"
+    );
+    // The clone in the send loop (via loop-variable propagation) and
+    // the `.to_vec()` in the fan-out job.
+    assert_eq!(findings[0].line, 7);
+    assert_eq!(findings[1].line, 13);
+    assert!(findings[1].message.contains("`entries`"));
+    // Moved values, light types, out-of-loop clones, allow-marked and
+    // test sites all stayed silent.
+}
+
+#[test]
+fn staleallow_fixture_flags_dead_and_typo_markers_only() {
+    let findings = staleallow::check(&fixture("staleallow"));
+    assert_eq!(
+        rules(&findings),
+        vec!["stale-allow", "stale-allow"],
+        "{findings:?}"
+    );
+    // The dead unwrap marker.
+    assert_eq!(findings[0].line, 13);
+    assert!(findings[0].message.contains("no longer suppresses"));
+    // The typo'd rule name.
+    assert_eq!(findings[1].line, 18);
+    assert!(findings[1].message.contains("unwarp"));
+    // The live marker, the manifest-level rule, the self-suppressed
+    // marker, and the doc-comment mention all stayed silent.
+}
+
+#[test]
 fn live_workspace_passes_all_gates() {
     let findings = run_all(&workspace_root());
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn live_workspace_has_no_stale_allow_markers() {
+    // Satellite guarantee: every `analyze:allow` in the tree still
+    // suppresses something (run_all covers this too, but this pins the
+    // specific rule if it ever regresses).
+    let findings = staleallow::check(&workspace_root());
     assert!(findings.is_empty(), "{findings:#?}");
 }
 
@@ -179,4 +263,139 @@ fn unknown_flags_exit_with_usage_error() {
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn sarif_output_is_valid_and_carries_the_findings() {
+    let bin = env!("CARGO_BIN_EXE_vqoe-analyze");
+    let out = Command::new(bin)
+        .args(["--sarif", "--no-baseline", "--root"])
+        .arg(fixture("panics"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("SARIF parses as JSON");
+    assert_eq!(
+        doc.get("version").and_then(|v| v.as_str()),
+        Some("2.1.0"),
+        "{text}"
+    );
+    assert!(doc
+        .get("$schema")
+        .and_then(|v| v.as_str())
+        .is_some_and(|s| s.contains("sarif-schema-2.1.0")));
+    let runs = doc.get("runs").and_then(|v| v.as_array()).expect("runs");
+    assert_eq!(runs.len(), 1);
+    let driver = runs[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(
+        driver.get("name").and_then(|v| v.as_str()),
+        Some("vqoe-analyze")
+    );
+    // The full rule table rides along; the panics fixture yields its
+    // three findings as results with physical locations.
+    assert!(driver
+        .get("rules")
+        .and_then(|v| v.as_array())
+        .is_some_and(|r| r.len() >= 19));
+    let results = runs[0]
+        .get("results")
+        .and_then(|v| v.as_array())
+        .expect("results");
+    // The fixture's three panic findings are all present (plus
+    // const-missing noise: the fixture root has no DESIGN.md).
+    for rule in ["unwrap", "expect", "panic"] {
+        assert!(
+            results
+                .iter()
+                .any(|r| r.get("ruleId").and_then(|v| v.as_str()) == Some(rule)),
+            "missing {rule}: {text}"
+        );
+    }
+    for r in results {
+        assert!(r
+            .get("locations")
+            .and_then(|l| l.as_array())
+            .and_then(|l| l.first())
+            .and_then(|l| l.get("physicalLocation"))
+            .is_some());
+    }
+}
+
+#[test]
+fn baseline_grandfathers_known_debt_until_disabled() {
+    let bin = env!("CARGO_BIN_EXE_vqoe-analyze");
+    // The fixture root carries an analyze-baseline.toml covering its
+    // single unwrap — found by default, so the gate passes…
+    let grandfathered = Command::new(bin)
+        .args(["--root"])
+        .arg(fixture("baseline"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        grandfathered.status.code(),
+        Some(0),
+        "stdout: {} stderr: {}",
+        String::from_utf8_lossy(&grandfathered.stdout),
+        String::from_utf8_lossy(&grandfathered.stderr)
+    );
+    assert!(String::from_utf8_lossy(&grandfathered.stderr).contains("grandfathered"));
+    // …and --no-baseline restores the raw verdict.
+    let raw = Command::new(bin)
+        .args(["--no-baseline", "--root"])
+        .arg(fixture("baseline"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(raw.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&raw.stdout).contains("unwrap"));
+}
+
+#[test]
+fn warn_severity_findings_do_not_fail_the_gate() {
+    let bin = env!("CARGO_BIN_EXE_vqoe-analyze");
+    let out = Command::new(bin)
+        .args(["--no-baseline", "--root"])
+        .arg(fixture("clones"))
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // clone-heavy-handoff is warn: reported, exit still 0.
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(
+        stdout.contains("warning: [clone-heavy-handoff]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("0 violation(s), 2 warning(s)"), "{stdout}");
+}
+
+#[test]
+fn warm_cache_run_serves_every_file_from_the_cache() {
+    let bin = env!("CARGO_BIN_EXE_vqoe-analyze");
+    let cache_path =
+        std::env::temp_dir().join(format!("vqoe-analyze-gates-cache-{}", std::process::id()));
+    let _ = std::fs::remove_file(&cache_path);
+    let run = |label: &str| {
+        let out = Command::new(bin)
+            .args(["--no-baseline", "--cache-path"])
+            .arg(&cache_path)
+            .arg("--root")
+            .arg(fixture("panics"))
+            .output()
+            .expect("binary runs");
+        (
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+            format!("{label}: {}", out.status),
+        )
+    };
+    let (cold_out, cold_err, _) = run("cold");
+    assert!(cold_err.contains("0 hit(s)"), "{cold_err}");
+    let (warm_out, warm_err, _) = run("warm");
+    assert!(warm_err.contains("0 miss(es)"), "{warm_err}");
+    // Cached findings are byte-identical to computed ones.
+    assert_eq!(cold_out, warm_out);
+    let _ = std::fs::remove_file(&cache_path);
 }

@@ -1,0 +1,138 @@
+//! Regression tests for the lexer's edge cases: raw hash-guard
+//! strings, nested block comments, and backslash-newline string
+//! continuations. Every case asserts two invariants the passes depend
+//! on: the physical line count is preserved (findings carry 1-based
+//! line numbers, so any drift misplaces every later diagnostic), and
+//! quoted/commented text never leaks into `Line::code`.
+
+use vqoe_analyze::lexer::lex_file;
+
+#[test]
+fn raw_hash_guard_string_contents_are_blanked() {
+    let src = "let s = r#\"quote \" and // slash\"#; after();\n";
+    let lines = lex_file(src);
+    assert_eq!(lines.len(), 1);
+    assert!(!lines[0].code.contains("slash"), "{:?}", lines[0].code);
+    assert!(lines[0].code.contains("after()"), "{:?}", lines[0].code);
+    assert!(lines[0].comment.is_empty());
+}
+
+#[test]
+fn raw_string_with_more_hashes_needs_the_full_guard() {
+    // `"#` inside an `r##"…"##` string does not terminate it.
+    let src = "let s = r##\"inner \"# still inside\"##; tail();\n";
+    let lines = lex_file(src);
+    assert_eq!(lines.len(), 1);
+    assert!(!lines[0].code.contains("still inside"));
+    assert!(lines[0].code.contains("tail()"));
+}
+
+#[test]
+fn multiline_raw_string_preserves_line_count() {
+    let src = "let s = r#\"first\nsecond // not a comment\nthird\"#;\nlet x = 1;\n";
+    let lines = lex_file(src);
+    assert_eq!(lines.len(), 4);
+    // The interior lines are pure string content: blanked code, no
+    // comment text.
+    assert!(lines[1].code.trim().is_empty(), "{:?}", lines[1].code);
+    assert!(lines[1].comment.is_empty());
+    assert!(lines[3].code.contains("let x = 1;"));
+}
+
+#[test]
+fn adjacent_raw_strings_with_different_guards() {
+    let src = "f(r#\"a\"#, r##\"b\"##, r\"c\"); g();\n";
+    let lines = lex_file(src);
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].code.contains("g();"));
+    for inner in ["a", "b", "c"] {
+        assert!(
+            !lines[0].code.contains(&format!("\"{inner}\"")),
+            "{:?}",
+            lines[0].code
+        );
+    }
+}
+
+#[test]
+fn raw_hash_string_is_not_a_line_comment_opener() {
+    // `r#"//"#` contains a comment-lookalike that must stay string.
+    let src = "let s = r#\"//\"#; real(); // real comment\n";
+    let lines = lex_file(src);
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].code.contains("real()"));
+    assert_eq!(lines[0].comment.trim(), "real comment");
+}
+
+#[test]
+fn nested_block_comments_track_depth() {
+    let src = "/* outer /* inner */ still a comment */ code();\n";
+    let lines = lex_file(src);
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].code.contains("code()"), "{:?}", lines[0].code);
+    assert!(!lines[0].code.contains("still"), "{:?}", lines[0].code);
+    assert!(lines[0].comment.contains("inner"));
+}
+
+#[test]
+fn deeply_nested_block_comment_spans_lines_without_drift() {
+    let src = "before();\n/* 1 /* 2 /* 3 */ 2 */\nstill comment */ after();\nlast();\n";
+    let lines = lex_file(src);
+    assert_eq!(lines.len(), 4);
+    assert!(lines[0].code.contains("before()"));
+    assert!(lines[1].code.trim().is_empty());
+    assert!(lines[2].code.contains("after()"), "{:?}", lines[2].code);
+    assert!(!lines[2].code.contains("still"));
+    assert!(lines[3].code.contains("last()"));
+}
+
+#[test]
+fn adjacent_block_comments_do_not_merge() {
+    let src = "/* a */ x(); /* b */ y();\n";
+    let lines = lex_file(src);
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].code.contains("x()"));
+    assert!(lines[0].code.contains("y()"));
+}
+
+#[test]
+fn backslash_newline_string_continuation_preserves_line_count() {
+    // A `\` at end of line inside a string continues it on the next
+    // physical line; the lexer must still emit one `Line` per physical
+    // line or every later finding's line number drifts.
+    let src = "let s = \"one \\\ntwo\";\nlet x = v.first().unwrap();\n";
+    let lines = lex_file(src);
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    assert!(
+        lines[2].code.contains(".unwrap()"),
+        "line 3 must hold the unwrap: {:?}",
+        lines[2].code
+    );
+}
+
+#[test]
+fn escaped_quote_does_not_terminate_a_string() {
+    let src = "let s = \"not \\\" done // nope\"; real();\n";
+    let lines = lex_file(src);
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].code.contains("real()"));
+    assert!(lines[0].comment.is_empty(), "{:?}", lines[0].comment);
+}
+
+#[test]
+fn allow_markers_cover_their_own_and_next_line() {
+    let src = "// analyze:allow(unwrap)\nlet a = x.unwrap();\nlet b = y.unwrap();\n";
+    let lines = lex_file(src);
+    assert!(lines[0].allows.iter().any(|a| a == "unwrap"));
+    assert!(lines[1].allows.iter().any(|a| a == "unwrap"));
+    assert!(lines[2].allows.is_empty());
+}
+
+#[test]
+fn cfg_test_region_is_brace_matched() {
+    let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn b() {}\n";
+    let lines = lex_file(src);
+    assert!(!lines[0].in_test);
+    assert!(lines[3].in_test);
+    assert!(!lines[5].in_test, "{lines:?}");
+}

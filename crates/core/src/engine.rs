@@ -37,7 +37,6 @@
 use std::collections::BTreeMap;
 use std::sync::{Condvar, Mutex as StdMutex};
 
-use parking_lot::Mutex;
 use vqoe_features::SessionObs;
 use vqoe_obs::{SimClock, StageSpan};
 use vqoe_telemetry::{
@@ -277,26 +276,35 @@ impl<'a> AssessmentEngine<'a> {
 
         let workers = self.config.effective_workers();
         let queue: BoundedQueue<ShardJob> = BoundedQueue::new(self.config.queue_depth);
-        let outputs: Mutex<Vec<Option<ShardOutput>>> =
-            Mutex::new((0..shards).map(|_| None).collect());
         let pacing = self.config.shard_pacing_micros;
 
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| {
-                    while let Some(job) = queue.pop() {
-                        if pacing > 0 {
-                            // Harness-only: model the tap-spool read for
-                            // this shard's slice (I/O-bound regime).
-                            std::thread::sleep(std::time::Duration::from_micros(pacing));
+        let result = crossbeam::thread::scope(|scope| {
+            // Workers keep their shard outputs in a private
+            // `(shard, output)` vector — no shared lock on the hot path
+            // — and hand it back through their join handle; the scatter
+            // after the joins restores shard order.
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut local: Vec<(usize, ShardOutput)> = Vec::new();
+                        while let Some(job) = queue.pop() {
+                            if pacing > 0 {
+                                // Harness-only: model the tap-spool read
+                                // for this shard's slice (I/O-bound
+                                // regime).
+                                std::thread::sleep(std::time::Duration::from_micros(pacing));
+                            }
+                            let out = self.process_shard(entries, &job.entry_indices);
+                            local.push((job.shard, out));
                         }
-                        let out = self.process_shard(entries, &job.entry_indices);
-                        outputs.lock()[job.shard] = Some(out);
-                    }
-                });
-            }
+                        local
+                    })
+                })
+                .collect();
             // Produce shard jobs on the calling thread; `push` blocks
-            // when `queue_depth` jobs are already waiting.
+            // when `queue_depth` jobs are already waiting. The queue
+            // must close before the joins below, or the workers would
+            // never exit their pop loops.
             for (shard, entry_indices) in by_shard.into_iter().enumerate() {
                 let stalled = queue.push(ShardJob {
                     shard,
@@ -310,12 +318,23 @@ impl<'a> AssessmentEngine<'a> {
                 }
             }
             queue.close();
-        })
-        // A worker panic is a bug in the pipeline itself; re-raising it
-        // is the only sane response. analyze:allow(expect)
-        .expect("worker panicked during parallel assessment");
-
-        self.reduce(outputs.into_inner())
+            let mut pairs: Vec<(usize, ShardOutput)> = Vec::with_capacity(shards);
+            for h in handles {
+                match h.join() {
+                    Ok(local) => pairs.extend(local),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+            pairs.sort_by_key(|&(shard, _)| shard);
+            pairs.into_iter().map(|(_, out)| out).collect()
+        });
+        let outputs: Vec<ShardOutput> = match result {
+            Ok(outputs) => outputs,
+            // A worker panic is a bug in the pipeline itself;
+            // re-raising it is the only sane response.
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        self.reduce(outputs)
     }
 
     /// Run one shard: its subscribers one at a time, each through a
@@ -401,18 +420,14 @@ impl<'a> AssessmentEngine<'a> {
     /// The deterministic ordered reducer: sort emissions on their keys,
     /// sum health counters, merge anomaly logs back into global arrival
     /// order.
-    fn reduce(&self, outputs: Vec<Option<ShardOutput>>) -> IngestReport {
+    fn reduce(&self, outputs: Vec<ShardOutput>) -> IngestReport {
         let mut emissions: Vec<(EmissionKey, SessionAssessment)> = Vec::new();
         let mut health = StreamHealth::default();
         let mut shard_health = Vec::with_capacity(outputs.len());
         let mut anomalies: Vec<(u64, IngestAnomaly)> = Vec::new();
         let mut anomaly_total = 0u64;
         let mut kinds = AnomalyKindCounts::default();
-        for slot in outputs {
-            // Every shard index was enqueued exactly once and the scope
-            // joined all workers, so every slot is filled.
-            // analyze:allow(expect)
-            let out = slot.expect("every shard job completed");
+        for out in outputs {
             if let Some(m) = &self.metrics {
                 m.reduce_merge_size.observe(out.emissions.len() as u64);
             }

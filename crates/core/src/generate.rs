@@ -7,7 +7,6 @@
 //! the same spec.
 
 use crate::spec::DatasetSpec;
-use parking_lot::Mutex;
 use rand::Rng;
 use vqoe_player::{simulate_session, SessionConfig, SessionTrace};
 use vqoe_simnet::rng::SeedSequence;
@@ -45,40 +44,51 @@ pub fn generate_traces(spec: &DatasetSpec) -> Vec<SessionTrace> {
         .unwrap_or(4)
         .min(16)
         .min(n);
-    let out: Mutex<Vec<Option<SessionTrace>>> = Mutex::new(vec![None; n]);
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     const BATCH: usize = 64;
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let start = next.fetch_add(BATCH, std::sync::atomic::Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + BATCH).min(n);
-                let mut local = Vec::with_capacity(end - start);
-                for i in start..end {
-                    let config = session_config(spec, &seeds, i as u64);
-                    local.push((i, simulate_session(&config, &seeds)));
-                }
-                let mut guard = out.lock();
-                for (i, trace) in local {
-                    guard[i] = Some(trace);
-                }
-            });
+    let result = crossbeam::thread::scope(|scope| {
+        // Workers claim BATCH-sized index ranges from the atomic cursor
+        // and keep their traces in a private `(index, trace)` vector —
+        // no shared lock on the hot path. Each worker hands its vector
+        // back through its join handle; the scatter below restores
+        // session-index order, so the output is still bit-identical to
+        // the sequential run.
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut local: Vec<(usize, SessionTrace)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(BATCH, std::sync::atomic::Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + BATCH).min(n);
+                        for i in start..end {
+                            let config = session_config(spec, &seeds, i as u64);
+                            local.push((i, simulate_session(&config, &seeds)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut pairs: Vec<(usize, SessionTrace)> = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(local) => pairs.extend(local),
+                Err(p) => std::panic::resume_unwind(p),
+            }
         }
-    })
-    // A worker panic is a bug in the simulator itself; re-raising it is
-    // the only sane response. analyze:allow(expect)
-    .expect("worker panicked during dataset generation");
-
-    out.into_inner()
-        .into_iter()
-        // The batch partition above covers 0..n exactly once, so every
-        // slot is filled when the scope joins. analyze:allow(expect)
-        .map(|t| t.expect("every session index filled"))
-        .collect()
+        pairs.sort_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, t)| t).collect()
+    });
+    match result {
+        Ok(traces) => traces,
+        // A worker panic is a bug in the simulator itself; re-raising
+        // it is the only sane response.
+        Err(p) => std::panic::resume_unwind(p),
+    }
 }
 
 /// Generate traces **sequentially on one subscriber's timeline**: each

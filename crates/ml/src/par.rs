@@ -130,31 +130,43 @@ where
             })
             .collect();
     }
-    let out: parking_lot::Mutex<Vec<Option<T>>> =
-        parking_lot::Mutex::new((0..jobs).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs {
-                    break;
-                }
-                pace();
-                let v = f(i);
-                out.lock()[i] = Some(v);
-            });
+    let result = crossbeam::thread::scope(|scope| {
+        // Workers deposit into private `(index, value)` vectors — no
+        // shared lock on the hot path — and hand them back through
+        // their join handles; the scatter below restores index order.
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        pace();
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut pairs: Vec<(usize, T)> = Vec::with_capacity(jobs);
+        for h in handles {
+            match h.join() {
+                Ok(local) => pairs.extend(local),
+                Err(p) => std::panic::resume_unwind(p),
+            }
         }
-    })
-    // A worker panic is a bug in the training job itself; re-raising it
-    // is the only sane response. analyze:allow(expect)
-    .expect("worker panicked during training fan-out");
-    out.into_inner()
-        .into_iter()
-        // The atomic cursor hands out 0..jobs exactly once, so every
-        // slot is filled when the scope joins. analyze:allow(expect)
-        .map(|v| v.expect("every job index filled"))
-        .collect()
+        pairs.sort_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, v)| v).collect()
+    });
+    match result {
+        Ok(v) => v,
+        // A worker panic is a bug in the training job itself;
+        // re-raising it is the only sane response.
+        Err(p) => std::panic::resume_unwind(p),
+    }
 }
 
 #[cfg(test)]

@@ -84,11 +84,14 @@ pub fn info_gain_ranking_with(data: &Dataset, train: TrainConfig) -> Vec<RankedF
     ranked
 }
 
-/// CFS merit of a feature subset given precomputed correlations.
+/// CFS merit of a feature subset given precomputed correlations. Every
+/// feature pair of `subset` must already be present in `pair_su`
+/// (normalized `(min, max)` keys); the caller precomputes them before
+/// fanning merits out, so merit jobs stay lock-free.
 fn merit(
     subset: &[usize],
     class_corr: &[f64],
-    feat_corr: &(dyn Fn(usize, usize) -> f64 + Sync),
+    pair_su: &std::collections::BTreeMap<(usize, usize), f64>,
 ) -> f64 {
     let k = subset.len() as f64;
     if subset.is_empty() {
@@ -99,7 +102,8 @@ fn merit(
     let mut pairs = 0.0;
     for (i, &a) in subset.iter().enumerate() {
         for &b in subset.iter().skip(i + 1) {
-            sum_ff += feat_corr(a, b);
+            let key = if a < b { (a, b) } else { (b, a) };
+            sum_ff += pair_su.get(&key).copied().unwrap_or(0.0);
             pairs += 1.0;
         }
     }
@@ -140,20 +144,14 @@ pub fn cfs_best_first_with(data: &Dataset, max_stale: usize, train: TrainConfig)
         symmetrical_uncertainty(&discretized[f], &data.y)
     });
 
-    // Feature–feature SU is computed lazily and memoized: the search
-    // touches only a small corner of the O(n²) matrix. The mutex (not a
-    // RefCell) lets concurrent merit jobs share the memo; values are
-    // pure functions of the key, so racing writers agree.
-    let cache = parking_lot::Mutex::new(std::collections::HashMap::<(usize, usize), f64>::new());
-    let feat_corr = |a: usize, b: usize| -> f64 {
-        let key = if a < b { (a, b) } else { (b, a) };
-        if let Some(&v) = cache.lock().get(&key) {
-            return v;
-        }
-        let v = symmetrical_uncertainty(&discretized[key.0], &discretized[key.1]);
-        cache.lock().insert(key, v);
-        v
-    };
+    // Feature–feature SU is computed on demand and memoized: the search
+    // touches only a small corner of the O(n²) matrix. Each expansion
+    // first collects the pairs its candidates need but the memo lacks,
+    // computes those in their own deterministic fan-out (SU is a pure
+    // function of the pair), and inserts them sequentially — so the
+    // merit fan-out below reads a plain `&BTreeMap` without ever taking
+    // a lock inside a job.
+    let mut pair_su = std::collections::BTreeMap::<(usize, usize), f64>::new();
 
     // Best-first: frontier ordered by merit; expand the best open node by
     // adding each unused feature.
@@ -189,8 +187,28 @@ pub fn cfs_best_first_with(data: &Dataset, max_stale: usize, train: TrainConfig)
                 candidates.push(candidate);
             }
         }
+        let mut missing: Vec<(usize, usize)> = Vec::new();
+        for candidate in &candidates {
+            for (i, &a) in candidate.iter().enumerate() {
+                for &b in candidate.iter().skip(i + 1) {
+                    // Candidates are sorted, so (a, b) is normalized.
+                    if !pair_su.contains_key(&(a, b)) {
+                        missing.push((a, b));
+                    }
+                }
+            }
+        }
+        missing.sort_unstable();
+        missing.dedup();
+        let su_vals = run_indexed(missing.len(), train, |i| {
+            let (a, b) = missing[i];
+            symmetrical_uncertainty(&discretized[a], &discretized[b])
+        });
+        for (&key, v) in missing.iter().zip(su_vals) {
+            pair_su.insert(key, v);
+        }
         let merits = run_indexed(candidates.len(), train, |i| {
-            merit(&candidates[i], &class_corr, &feat_corr)
+            merit(&candidates[i], &class_corr, &pair_su)
         });
         let mut improved = false;
         for (candidate, m) in candidates.into_iter().zip(merits) {
