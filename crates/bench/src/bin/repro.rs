@@ -11,8 +11,9 @@
 
 use std::io::Write;
 use vqoe_bench::experiments::{
-    abr_comparison, engine_scaling_with, obs_overhead_with, run_experiment, train_scaling_with,
-    EngineScalingConfig, ObsOverheadConfig, TrainScalingConfig, EXPERIMENTS,
+    abr_comparison, engine_scaling_with, obs_overhead_with, overload_sweep_with, run_experiment,
+    train_scaling_with, EngineScalingConfig, ObsOverheadConfig, OverloadSweepConfig,
+    TrainScalingConfig, EXPERIMENTS,
 };
 use vqoe_bench::{ReproContext, ReproScale};
 
@@ -102,6 +103,12 @@ fn main() {
             txt
         } else if id == "obs-overhead" {
             let (txt, json) = obs_overhead_with(&ctx, ObsOverheadConfig::quick());
+            if let Some(path) = &bench_json {
+                std::fs::write(path, json).expect("write --bench-json file");
+            }
+            txt
+        } else if id == "overload-sweep" {
+            let (txt, json) = overload_sweep_with(&ctx, OverloadSweepConfig::quick());
             if let Some(path) = &bench_json {
                 std::fs::write(path, json).expect("write --bench-json file");
             }

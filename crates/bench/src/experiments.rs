@@ -16,7 +16,7 @@ use vqoe_player::{AbrKind, ContentType, SessionTrace};
 use vqoe_stats::Ecdf;
 
 /// All experiment identifiers, in paper order.
-pub const EXPERIMENTS: [&str; 27] = [
+pub const EXPERIMENTS: [&str; 28] = [
     "tab1",
     "fig1",
     "fig2",
@@ -41,6 +41,7 @@ pub const EXPERIMENTS: [&str; 27] = [
     "generalization",
     "obfuscation",
     "chaos-sweep",
+    "overload-sweep",
     "engine-scaling",
     "obs-overhead",
     "train-scaling",
@@ -74,6 +75,7 @@ pub fn run_experiment(id: &str, ctx: &ReproContext) -> String {
         "generalization" => generalization(ctx),
         "obfuscation" => obfuscation(ctx),
         "chaos-sweep" => chaos_sweep(ctx),
+        "overload-sweep" => overload_sweep(ctx),
         "engine-scaling" => engine_scaling(ctx),
         "obs-overhead" => obs_overhead(ctx),
         "train-scaling" => train_scaling(ctx),
@@ -1199,6 +1201,327 @@ fn chaos_sweep(ctx: &ReproContext) -> String {
         "accuracy and match rate decay with intensity; see table",
     ));
     out
+}
+
+// ----------------------------------------------------- overload-sweep
+
+/// Workload knobs for [`overload_sweep_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadSweepConfig {
+    /// Flood subscribers per legitimate subscriber (the "10x flood" of
+    /// the acceptance bar).
+    pub flood_multiplier: u64,
+    /// Media chunks each flood subscriber requests.
+    pub chunks_per_subscriber: usize,
+    /// Chunks in the single pathological (never-ending) session.
+    pub pathological_chunks: usize,
+    /// Global budget as a percentage of the unbudgeted peak (forces
+    /// shedding by construction).
+    pub budget_pct_of_peak: u64,
+}
+
+impl OverloadSweepConfig {
+    /// The harness point `scripts/bench.sh` records.
+    pub fn quick() -> Self {
+        OverloadSweepConfig {
+            flood_multiplier: 10,
+            chunks_per_subscriber: 24,
+            pathological_chunks: 400,
+            budget_pct_of_peak: 50,
+        }
+    }
+}
+
+/// Overload harness: merge a 10x subscriber flood and one pathological
+/// never-ending session into the evaluation tap, cap the assessor's
+/// memory, and measure what the budgets shed, what accuracy each
+/// fidelity tier retains, and whether kill/checkpoint/restore/replay
+/// stays bit-identical to the uninterrupted run.
+pub fn overload_sweep_with(ctx: &ReproContext, cfg: OverloadSweepConfig) -> (String, String) {
+    use std::collections::BTreeSet;
+    use vqoe_core::{
+        AdmissionPolicy, BudgetConfig, Fidelity, IngestReport, OnlineAssessor, OnlineCheckpoint,
+        QoeMonitor,
+    };
+    use vqoe_simnet::time::{Duration, Instant};
+    use vqoe_telemetry::{
+        generate_pathological_session, generate_subscriber_flood, merge_streams, FloodSpec,
+        ReassemblyConfig,
+    };
+
+    let monitor = QoeMonitor {
+        stall_model: ctx.stall.model.clone(),
+        representation_model: ctx.representation.model.clone(),
+        switch_model: ctx.switch.model,
+        reassembly: ReassemblyConfig::default(),
+    };
+
+    // The legitimate tap plus the overload: a subscriber flood sized at
+    // `flood_multiplier` times the legitimate population, spread over
+    // the whole capture window, and one pathological session that never
+    // reaches a session boundary.
+    let legit = &ctx.world.entries;
+    let legit_subs: BTreeSet<u64> = legit.iter().map(|e| e.subscriber_id).collect();
+    let start = legit.first().map(|e| e.timestamp).unwrap_or(Instant(0));
+    let end = legit.last().map(|e| e.timestamp).unwrap_or(Instant(0));
+    let window = end.duration_since(start).max(Duration::from_secs(60));
+    let spec = FloodSpec {
+        subscribers: cfg.flood_multiplier * legit_subs.len().max(1) as u64,
+        chunks_per_subscriber: cfg.chunks_per_subscriber,
+        window,
+        ..FloodSpec::default()
+    };
+    let flood = generate_subscriber_flood(&spec, start, ctx.scale.seed ^ 0xF100D);
+    let pathological = generate_pathological_session(
+        0x000B_AD1D,
+        start,
+        cfg.pathological_chunks,
+        Duration::from_millis(250),
+        ctx.scale.seed ^ 0xBAD,
+    );
+    let entries = merge_streams(vec![legit.clone(), flood, pathological]);
+
+    let run = |budget: BudgetConfig| -> (IngestReport, u64) {
+        let mut online = OnlineAssessor::new(monitor.clone()).with_budget(budget);
+        let mut assessments = Vec::new();
+        for e in &entries {
+            assessments.extend(online.ingest(e));
+        }
+        let peak = online.peak_tracked_bytes();
+        let mut report = online.into_report();
+        assessments.extend(std::mem::take(&mut report.assessments));
+        report.assessments = assessments;
+        (report, peak)
+    };
+
+    // Unbudgeted reference run: sizes the budget and anchors the
+    // restore-equivalence check.
+    let (reference, peak_unbudgeted) = run(BudgetConfig::default());
+    let global_budget = (peak_unbudgeted * cfg.budget_pct_of_peak.clamp(1, 100)) / 100;
+    let shed_budget = BudgetConfig {
+        per_subscriber_bytes: global_budget / 4,
+        global_bytes: global_budget,
+        admission: AdmissionPolicy::ShedColdest,
+    };
+    // The refuse scenario runs a much tighter global-only budget:
+    // refusals fire when a newcomer arrives while tracked bytes sit
+    // within one record of the cap, so the cap has to stay genuinely
+    // contended (a generous cap sheds into lumpy headroom and admits
+    // everyone).
+    let refuse_budget = BudgetConfig {
+        per_subscriber_bytes: 0,
+        global_bytes: (global_budget / 8).max(1),
+        admission: AdmissionPolicy::Refuse,
+    };
+    let (shed_report, peak_shed) = run(shed_budget);
+    let (refuse_report, peak_refuse) = run(refuse_budget);
+
+    let total_subs = legit_subs.len() as u64 + spec.subscribers + 1;
+    let mut out = header(
+        "overload-sweep",
+        "admission control, memory budgets and degraded tiers under a 10x flood",
+    );
+    out.push_str(&format!(
+        "tap: {} entries ({} legitimate + flood of {} subscribers + 1 pathological); \
+         unbudgeted peak {} bytes; global budget {} bytes ({}% of peak), \
+         per-subscriber {} bytes\n\n",
+        entries.len(),
+        legit.len(),
+        spec.subscribers,
+        peak_unbudgeted,
+        global_budget,
+        cfg.budget_pct_of_peak,
+        shed_budget.per_subscriber_bytes,
+    ));
+
+    let mut t = Table::new(vec![
+        "scenario",
+        "assessed",
+        "full",
+        "partial",
+        "shed",
+        "shed events",
+        "refused",
+        "peak bytes",
+        "bytes/sub",
+    ]);
+    let scenarios: [(&str, &IngestReport, u64); 3] = [
+        ("unlimited", &reference, peak_unbudgeted),
+        ("budget+shed", &shed_report, peak_shed),
+        ("budget+refuse", &refuse_report, peak_refuse),
+    ];
+    for (name, report, peak) in scenarios {
+        let by_tier = |f: Fidelity| {
+            report
+                .assessments
+                .iter()
+                .filter(|a| a.fidelity == f)
+                .count()
+        };
+        t.row(vec![
+            name.to_string(),
+            report.assessments.len().to_string(),
+            by_tier(Fidelity::Full).to_string(),
+            by_tier(Fidelity::Partial).to_string(),
+            by_tier(Fidelity::Shed).to_string(),
+            report.shed.total().to_string(),
+            report.shed.reasons().admission_refused.to_string(),
+            peak.to_string(),
+            (peak / total_subs).to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // Per-tier accuracy on the budgeted (shedding) run, against the
+    // legitimate subscribers' ground truth. Flood/pathological sessions
+    // have no ground truth and simply stay unmatched.
+    let matches = match_assessments(&shed_report.assessments, &ctx.world.traces);
+    let mut tier_table = Table::new(vec!["tier", "matched", "stall", "repr", "switch"]);
+    let mut json_tiers = String::new();
+    for tier in [Fidelity::Full, Fidelity::Partial, Fidelity::Shed] {
+        let mut matched = 0usize;
+        let mut stall_ok = 0usize;
+        let mut rep_ok = 0usize;
+        let mut switch_ok = 0usize;
+        for &(ai, ti) in &matches {
+            let a = &shed_report.assessments[ai];
+            if a.fidelity != tier {
+                continue;
+            }
+            matched += 1;
+            let gt = &ctx.world.traces[ti].ground_truth;
+            if a.stall == stall_label(gt) {
+                stall_ok += 1;
+            }
+            if a.representation == vqoe_features::labels::rq_label(gt) {
+                rep_ok += 1;
+            }
+            if a.has_quality_switches == has_switches(gt) {
+                switch_ok += 1;
+            }
+        }
+        let pct = |n: usize| -> String {
+            if matched == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * n as f64 / matched as f64)
+            }
+        };
+        tier_table.row(vec![
+            tier.label().to_string(),
+            matched.to_string(),
+            pct(stall_ok),
+            pct(rep_ok),
+            pct(switch_ok),
+        ]);
+        if !json_tiers.is_empty() {
+            json_tiers.push_str(", ");
+        }
+        let frac = |n: usize| -> f64 {
+            if matched == 0 {
+                0.0
+            } else {
+                n as f64 / matched as f64
+            }
+        };
+        json_tiers.push_str(&format!(
+            "\"{}\": {{\"matched\": {matched}, \"stall_acc\": {:.4}, \
+             \"repr_acc\": {:.4}, \"switch_acc\": {:.4}}}",
+            tier.label(),
+            frac(stall_ok),
+            frac(rep_ok),
+            frac(switch_ok),
+        ));
+    }
+    out.push_str("per-tier accuracy (budget+shed scenario, legitimate ground truth):\n");
+    out.push_str(&tier_table.render());
+    out.push('\n');
+
+    // Kill/restore determinism: cut the budgeted run at the midpoint,
+    // checkpoint, round-trip through JSON, restore into a fresh
+    // assessor, replay the tail — the merged report must be
+    // bit-identical to the uninterrupted budgeted run.
+    let mid = entries.len() / 2;
+    let mut first = OnlineAssessor::new(monitor.clone()).with_budget(shed_budget);
+    let mut resumed_assessments = Vec::new();
+    for e in entries.iter().take(mid) {
+        resumed_assessments.extend(first.ingest(e));
+    }
+    let ck = first.checkpoint();
+    let ck_json = ck.to_json().expect("checkpoint serializes");
+    let ck_back = OnlineCheckpoint::from_json(&ck_json).expect("checkpoint parses");
+    let json_stable = ck_back.to_json().expect("checkpoint re-serializes") == ck_json;
+    let mut second =
+        OnlineAssessor::restore(monitor.clone(), &ck_back).expect("checkpoint restores");
+    for e in entries.iter().skip(mid) {
+        resumed_assessments.extend(second.ingest(e));
+    }
+    let mut resumed = second.into_report();
+    resumed_assessments.extend(std::mem::take(&mut resumed.assessments));
+    resumed.assessments = resumed_assessments;
+    let restore_identical = resumed == shed_report;
+
+    let within_budget = peak_shed <= peak_unbudgeted && peak_refuse <= peak_unbudgeted;
+    out.push_str(&compare_line(
+        "survived 10x flood within budget",
+        "yes (no panics, peak under unbudgeted)",
+        if within_budget {
+            "yes"
+        } else {
+            "NO — regression"
+        },
+    ));
+    out.push_str(&compare_line(
+        "kill @ midpoint + restore + replay tail",
+        "bit-identical report",
+        if restore_identical && json_stable {
+            "bit-identical (JSON round-trip stable)"
+        } else {
+            "DIVERGED"
+        },
+    ));
+    out.push_str(&compare_line(
+        "shedding is typed and logged",
+        "every force-finalize has a ShedReason",
+        &format!(
+            "{} events: {} lru, {} subscriber-budget, {} global-budget, {} refused",
+            shed_report.shed.total(),
+            shed_report.shed.reasons().lru_capacity,
+            shed_report.shed.reasons().subscriber_budget,
+            shed_report.shed.reasons().global_budget,
+            shed_report.shed.reasons().admission_refused,
+        ),
+    ));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"overload-sweep\",\n  \"entries\": {},\n  \
+         \"flood_subscribers\": {},\n  \"peak_unbudgeted_bytes\": {},\n  \
+         \"global_budget_bytes\": {},\n  \"peak_budgeted_bytes\": {},\n  \
+         \"bytes_per_subscriber\": {},\n  \"assessed_unlimited\": {},\n  \
+         \"assessed_budgeted\": {},\n  \"shed_events\": {},\n  \
+         \"refused_subscribers\": {},\n  \"shed_rate\": {:.4},\n  \
+         \"tiers\": {{{json_tiers}}},\n  \"restore_bit_identical\": {},\n  \
+         \"checkpoint_json_stable\": {}\n}}\n",
+        entries.len(),
+        spec.subscribers,
+        peak_unbudgeted,
+        global_budget,
+        peak_shed,
+        peak_shed / total_subs,
+        reference.assessments.len(),
+        shed_report.assessments.len(),
+        shed_report.shed.total(),
+        refuse_report.shed.reasons().admission_refused,
+        shed_report.shed.total() as f64 / total_subs as f64,
+        restore_identical,
+        json_stable,
+    );
+    (out, json)
+}
+
+fn overload_sweep(ctx: &ReproContext) -> String {
+    overload_sweep_with(ctx, OverloadSweepConfig::quick()).0
 }
 
 // ------------------------------------------------------ engine-scaling

@@ -24,14 +24,16 @@ use std::path::{Path, PathBuf};
 
 use rand::SeedableRng;
 use vqoe_core::{
-    generate_sequential_traces, generate_traces, DatasetSpec, EngineConfig, IngestReport,
-    OnlineAssessor, PipelineMetrics, QoeMonitor, TrainingConfig,
+    generate_sequential_traces, generate_traces, AdmissionPolicy, BudgetConfig, DatasetSpec,
+    EngineConfig, Fidelity, IngestReport, OnlineAssessor, OnlineCheckpoint, PipelineMetrics,
+    QoeMonitor, TrainingConfig,
 };
 use vqoe_obs::{buckets, Clock, MetricClass, Registry, ReportLevel, Reporter, StageSpan};
 use vqoe_player::SessionTrace;
+use vqoe_simnet::time::Instant;
 use vqoe_telemetry::{
-    apply_chaos, capture_session, extract_sessions, read_jsonl, write_jsonl, CaptureConfig,
-    ChaosConfig, IngestConfig, WeblogEntry,
+    apply_chaos, capture_session, extract_sessions, generate_subscriber_flood, merge_streams,
+    read_jsonl, write_jsonl, CaptureConfig, ChaosConfig, ChaosProfile, IngestConfig, WeblogEntry,
 };
 
 /// Wall-clock [`Clock`] for CLI stage timing. The `vqoe` binary is an
@@ -290,10 +292,40 @@ fn assess(flags: &Flags) {
     // Tap arrival order: all subscribers interleaved by timestamp, as
     // the operator's proxy would deliver them.
     entries.sort_by_key(|e| e.timestamp);
-    if chaos > 0.0 {
-        let (faulted, stats) = apply_chaos(&entries, &ChaosConfig::uniform(chaos), chaos_seed);
+    // `--chaos-profile` is the preset path (mild/harsh/flood, see the
+    // ChaosProfile table); `--chaos RATE` stays as the raw dial. They
+    // conflict rather than compose, so a preset means exactly its table.
+    let profile = flags.get("chaos-profile").map(|name| {
+        ChaosProfile::parse(name)
+            .unwrap_or_else(|| usage("--chaos-profile must be mild|harsh|flood"))
+    });
+    if profile.is_some() && chaos > 0.0 {
+        usage("--chaos and --chaos-profile are mutually exclusive");
+    }
+    let chaos_cfg: Option<ChaosConfig> = match profile {
+        Some(p) => {
+            if let Some(spec) = p.flood() {
+                let start = entries
+                    .first()
+                    .map(|e| e.timestamp)
+                    .unwrap_or(Instant::from_secs(0));
+                let flood = generate_subscriber_flood(&spec, start, chaos_seed);
+                report_to.normal(&format!(
+                    "flood profile: injecting {} synthetic entries from {} flood subscribers",
+                    flood.len(),
+                    spec.subscribers
+                ));
+                entries = merge_streams(vec![entries, flood]);
+            }
+            Some(p.chaos())
+        }
+        None if chaos > 0.0 => Some(ChaosConfig::uniform(chaos)),
+        None => None,
+    };
+    if let Some(cfg) = chaos_cfg {
+        let (faulted, stats) = apply_chaos(&entries, &cfg, chaos_seed);
         report_to.normal(&format!(
-            "chaos tap at intensity {chaos}: {} -> {} entries \
+            "chaos tap: {} -> {} entries \
              ({} dropped, {} duplicated, {} reordered, {} corrupted, {} streams cut)",
             stats.consumed,
             stats.emitted,
@@ -310,6 +342,32 @@ fn assess(flags: &Flags) {
         max_open_subscribers: flags.num("max-subscribers", 65_536usize),
         ..IngestConfig::default()
     };
+    // Memory budgets, admission policy and checkpoint/restore belong to
+    // the streaming assessor (the batch engine holds one subscriber per
+    // worker and never sheds, so the knobs would be moot there).
+    let budget = BudgetConfig {
+        per_subscriber_bytes: flags.num("subscriber-budget", 0u64),
+        global_bytes: flags.num("memory-budget", 0u64),
+        admission: match flags.get("admission") {
+            None => AdmissionPolicy::default(),
+            Some(v) => AdmissionPolicy::parse(v)
+                .unwrap_or_else(|| usage("--admission must be shed|refuse")),
+        },
+    };
+    let checkpoint_path = flags.get("checkpoint").map(str::to_string);
+    let checkpoint_at = flags.num("checkpoint-at", 0u64);
+    let restore_path = flags.get("restore").map(str::to_string);
+    if flags.get("workers").is_some()
+        && (!budget.is_unlimited()
+            || flags.get("admission").is_some()
+            || checkpoint_path.is_some()
+            || restore_path.is_some())
+    {
+        usage(
+            "--memory-budget/--subscriber-budget/--admission/--checkpoint/--restore \
+             need the streaming assessor; drop --workers",
+        );
+    }
     // `--workers N` routes through the sharded parallel engine (see
     // `vqoe_core::engine`); without it, the streaming assessor runs the
     // tap one entry at a time. Output is bit-identical either way (the
@@ -332,13 +390,70 @@ fn assess(flags: &Flags) {
             engine.assess(&entries)
         }
         None => {
-            let mut online = OnlineAssessor::with_config(monitor, ingest_cfg);
+            // Restore resumes the ingest clock where the checkpointed
+            // process died: its config/budget win over the CLI flags,
+            // and the first `records_ingested` entries are skipped.
+            let (mut online, skip) = match &restore_path {
+                Some(p) => {
+                    let text =
+                        std::fs::read_to_string(p).unwrap_or_else(die(Path::new(p.as_str())));
+                    let ck =
+                        OnlineCheckpoint::from_json(&text).unwrap_or_else(fail("parse checkpoint"));
+                    if metrics.is_some() {
+                        if let Some(snap) = &ck.metrics_snapshot {
+                            registry
+                                .absorb_snapshot(snap)
+                                .unwrap_or_else(fail("absorb checkpoint metrics"));
+                        }
+                    }
+                    let online = OnlineAssessor::restore(monitor, &ck)
+                        .unwrap_or_else(fail("restore checkpoint"));
+                    report_to.normal(&format!(
+                        "restored checkpoint {} ({} records already ingested)",
+                        p, ck.records_ingested
+                    ));
+                    (online, ck.records_ingested)
+                }
+                None => (
+                    OnlineAssessor::with_config(monitor, ingest_cfg).with_budget(budget),
+                    0,
+                ),
+            };
             if let Some(m) = &metrics {
                 online = online.with_metrics(m.clone());
             }
+            let write_checkpoint = |online: &OnlineAssessor, path: &str| {
+                let ck = if metrics.is_some() {
+                    online.checkpoint_with_metrics(&registry)
+                } else {
+                    online.checkpoint()
+                };
+                let json = ck.to_json().unwrap_or_else(fail("serialize checkpoint"));
+                std::fs::write(path, json).unwrap_or_else(die(Path::new(path)));
+                report_to.normal(&format!(
+                    "checkpoint written to {} at record {} ({} subscribers open)",
+                    path,
+                    online.records_ingested(),
+                    online.open_subscribers()
+                ));
+            };
             let mut assessments = Vec::new();
-            for e in &entries {
+            let mut checkpointed = false;
+            for e in entries.iter().skip(skip as usize) {
                 assessments.extend(online.ingest(e));
+                if checkpoint_at > 0 && online.records_ingested() == checkpoint_at {
+                    if let Some(p) = &checkpoint_path {
+                        write_checkpoint(&online, p);
+                        checkpointed = true;
+                    }
+                }
+            }
+            if !checkpointed {
+                // No cut point (or the stream ended first): checkpoint
+                // the final pre-drain state, still a valid resume point.
+                if let Some(p) = &checkpoint_path {
+                    write_checkpoint(&online, p);
+                }
             }
             let mut report = online.into_report();
             assessments.extend(std::mem::take(&mut report.assessments));
@@ -353,12 +468,20 @@ fn assess(flags: &Flags) {
     write_jsonl(&out, assessments).unwrap_or_else(die(&out));
     write_span.finish();
     let poor = assessments.iter().filter(|a| a.qoe.is_poor()).count();
-    let partial = assessments.iter().filter(|a| a.partial).count();
+    let partial = assessments
+        .iter()
+        .filter(|a| a.fidelity == Fidelity::Partial)
+        .count();
+    let shed_tier = assessments
+        .iter()
+        .filter(|a| a.fidelity == Fidelity::Shed)
+        .count();
     report_to.normal(&format!(
-        "assessed {} sessions ({} poor-QoE, {} partial) -> {}",
+        "assessed {} sessions ({} poor-QoE, {} partial, {} shed) -> {}",
         assessments.len(),
         poor,
         partial,
+        shed_tier,
         out.display()
     ));
     // Stream-health details stay off stderr unless asked for, so piped
@@ -366,14 +489,30 @@ fn assess(flags: &Flags) {
     let h = report.health;
     report_to.verbose(&format!(
         "stream health: {} entries seen, {} reordered, {} duplicated, \
-         {} quarantined, {} subscribers evicted, {} partial sessions",
+         {} quarantined, {} subscribers evicted, {} shed, {} refused, \
+         {} partial sessions",
         h.entries_seen,
         h.entries_reordered,
         h.entries_duplicated,
         h.entries_quarantined,
         h.sessions_evicted,
+        h.sessions_shed,
+        h.subscribers_refused,
         h.sessions_partial
     ));
+    let shed = &report.shed;
+    if shed.total() > 0 {
+        let r = shed.reasons();
+        report_to.verbose(&format!(
+            "load shedding: {} events ({} lru, {} subscriber-budget, \
+             {} global-budget, {} refused)",
+            shed.total(),
+            r.lru_capacity,
+            r.subscriber_budget,
+            r.global_budget,
+            r.admission_refused
+        ));
+    }
     for a in report.anomalies.kept().iter().take(5) {
         report_to.verbose(&format!(
             "  anomaly: subscriber {} at {}us: {:?}",
@@ -439,7 +578,10 @@ fn usage(err: &str) -> ! {
            train      [--cleartext N] [--adaptive N] [--seed S] [--workers N] --out FILE\n\
            assess     --model FILE --weblogs FILE --out FILE\n\
          \x20          [--workers N] [--shards N] [--queue-depth N] [--verbose]\n\
-         \x20          [--chaos RATE] [--chaos-seed S] [--max-subscribers N]\n\
+         \x20          [--chaos RATE] [--chaos-seed S] [--chaos-profile mild|harsh|flood]\n\
+         \x20          [--max-subscribers N] [--memory-budget BYTES]\n\
+         \x20          [--subscriber-budget BYTES] [--admission shed|refuse]\n\
+         \x20          [--checkpoint PATH] [--checkpoint-at N] [--restore PATH]\n\
          \x20          [--metrics PATH|-] [--quiet]\n\
          \n\
          train --workers fans tree/fold/candidate fitting out across\n\
@@ -449,6 +591,18 @@ fn usage(err: &str) -> ! {
          the capture through the sharded parallel engine (0 = auto),\n\
          with bit-identical output. --verbose adds stream-health and\n\
          anomaly details on stderr; --quiet suppresses status lines.\n\
+         --chaos-profile applies a preset fault table (mild: 5% faults,\n\
+         harsh: 35% faults, flood: 5% faults plus a synthetic subscriber\n\
+         flood merged into the tap); it conflicts with --chaos.\n\
+         --memory-budget / --subscriber-budget cap buffered bytes\n\
+         (record-cost units, 0 = unlimited); over budget, the coldest\n\
+         subscribers are force-finalized and assessed at the shed tier.\n\
+         --admission refuse turns new subscribers away instead while the\n\
+         global budget is full. --checkpoint writes a deterministic\n\
+         snapshot (at record N with --checkpoint-at, else at stream\n\
+         end); --restore resumes from one, skipping the records it had\n\
+         already consumed. These knobs need the streaming assessor\n\
+         (no --workers).\n\
          --metrics PATH writes pipeline metrics as Prometheus text to\n\
          PATH plus a deterministic JSON snapshot to PATH.json ('-'\n\
          prints both to stdout)."

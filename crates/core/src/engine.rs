@@ -46,7 +46,7 @@ use vqoe_telemetry::{
 
 use crate::metrics::PipelineMetrics;
 use crate::monitor::{QoeMonitor, SessionAssessment};
-use crate::online::IngestReport;
+use crate::online::{IngestReport, ShedLog};
 
 /// Knobs of the parallel engine. All defaults are safe for production;
 /// the output is bit-identical for every combination.
@@ -453,6 +453,12 @@ impl<'a> AssessmentEngine<'a> {
                 anomaly_total,
                 kinds,
             ),
+            // The batch engine never sheds: each worker holds exactly
+            // one subscriber's machine at a time, so memory budgets are
+            // a streaming-path concern. An empty log with the same cap
+            // keeps engine reports comparable (and equal, unbudgeted)
+            // to streaming reports.
+            shed: ShedLog::new(cap),
         }
     }
 

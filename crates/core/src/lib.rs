@@ -79,9 +79,12 @@ pub use engine::{shard_of, AssessmentEngine, EngineConfig};
 pub use generate::{generate_sequential_traces, generate_traces};
 pub use metrics::PipelineMetrics;
 pub use monitor::{
-    ConfigError, QoeMonitor, SessionAssessment, TrainingConfig, TrainingConfigBuilder,
+    ConfigError, Fidelity, QoeMonitor, SessionAssessment, TrainingConfig, TrainingConfigBuilder,
 };
-pub use online::{IngestReport, OnlineAssessor};
+pub use online::{
+    AdmissionPolicy, BudgetConfig, IngestReport, OnlineAssessor, OnlineCheckpoint, RestoreError,
+    ShardCheckpoint, ShedEvent, ShedLog, ShedReason, ShedReasonCounts, CHECKPOINT_VERSION,
+};
 pub use qoe_score::QoeScore;
 pub use spec::{DatasetSpec, DeliveryMix, ScenarioMix};
 pub use stall_pipeline::{StallModel, StallTrainingReport};
@@ -99,9 +102,12 @@ pub mod prelude {
     pub use crate::engine::{AssessmentEngine, EngineConfig};
     pub use crate::metrics::PipelineMetrics;
     pub use crate::monitor::{
-        ConfigError, QoeMonitor, SessionAssessment, TrainingConfig, TrainingConfigBuilder,
+        ConfigError, Fidelity, QoeMonitor, SessionAssessment, TrainingConfig, TrainingConfigBuilder,
     };
-    pub use crate::online::{IngestReport, OnlineAssessor};
+    pub use crate::online::{
+        AdmissionPolicy, BudgetConfig, IngestReport, OnlineAssessor, OnlineCheckpoint,
+        RestoreError, ShedLog, ShedReason,
+    };
     pub use crate::qoe_score::QoeScore;
     pub use crate::{RepresentationModel, StallModel, SwitchModel};
     pub use vqoe_features::{RqClass, SessionObs, StallClass};

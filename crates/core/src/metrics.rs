@@ -36,6 +36,8 @@ pub struct PipelineMetrics {
     pub(crate) entries_duplicated: Counter,
     pub(crate) entries_quarantined: Counter,
     pub(crate) sessions_evicted: Counter,
+    pub(crate) sessions_shed: Counter,
+    pub(crate) subscribers_refused: Counter,
     pub(crate) sessions_partial: Counter,
     pub(crate) anomaly_empty_host: Counter,
     pub(crate) anomaly_oversized_object: Counter,
@@ -59,7 +61,9 @@ pub struct PipelineMetrics {
     pub(crate) queue_depth: Gauge,
     // Online assessor.
     pub(crate) online_evictions: Counter,
+    pub(crate) online_sheds: Counter,
     pub(crate) open_subscribers: Gauge,
+    pub(crate) tracked_bytes: Gauge,
     // Training.
     pub(crate) trees_fitted: Counter,
     pub(crate) cv_folds_skipped: Counter,
@@ -126,9 +130,17 @@ impl PipelineMetrics {
                 "vqoe_telemetry_ingest_sessions_evicted_total",
                 "idle subscribers evicted to enforce the memory cap",
             ),
+            sessions_shed: counter(
+                "vqoe_telemetry_ingest_sessions_shed_total",
+                "subscribers force-finalized by a memory budget (load shedding)",
+            ),
+            subscribers_refused: counter(
+                "vqoe_telemetry_ingest_subscribers_refused_total",
+                "new subscribers refused admission under a full global budget",
+            ),
             sessions_partial: counter(
                 "vqoe_telemetry_ingest_sessions_partial_total",
-                "sessions assessed from an evicted (force-closed) stream",
+                "sessions assessed from an evicted or shed (force-closed) stream",
             ),
             anomaly_empty_host: counter(
                 "vqoe_telemetry_ingest_anomaly_empty_host_total",
@@ -207,9 +219,18 @@ impl PipelineMetrics {
                 "vqoe_core_online_evictions_total",
                 "LRU subscriber evictions by the online assessor",
             ),
+            online_sheds: counter(
+                "vqoe_core_online_sheds_total",
+                "budget-driven force-finalizations by the online assessor",
+            ),
             open_subscribers: registry.gauge(
                 "vqoe_core_online_open_subscribers",
                 "subscribers currently tracked by the online assessor",
+                s,
+            ),
+            tracked_bytes: registry.gauge(
+                "vqoe_core_online_tracked_bytes",
+                "buffered bytes currently tracked by the online assessor (record-cost units)",
                 s,
             ),
             trees_fitted: counter(
@@ -289,6 +310,13 @@ impl PipelineMetrics {
                 .sessions_evicted
                 .saturating_sub(before.sessions_evicted),
         );
+        self.sessions_shed
+            .add(after.sessions_shed.saturating_sub(before.sessions_shed));
+        self.subscribers_refused.add(
+            after
+                .subscribers_refused
+                .saturating_sub(before.subscribers_refused),
+        );
         self.sessions_partial.add(
             after
                 .sessions_partial
@@ -352,6 +380,8 @@ impl PipelineMetrics {
             entries_duplicated: self.entries_duplicated.get(),
             entries_quarantined: self.entries_quarantined.get(),
             sessions_evicted: self.sessions_evicted.get(),
+            sessions_shed: self.sessions_shed.get(),
+            subscribers_refused: self.subscribers_refused.get(),
             sessions_partial: self.sessions_partial.get(),
         }
     }
@@ -396,6 +426,8 @@ mod tests {
             entries_duplicated: 1,
             entries_quarantined: 3,
             sessions_evicted: 0,
+            sessions_shed: 4,
+            subscribers_refused: 5,
             sessions_partial: 0,
         };
         m.observe_health_delta(&before, &after);

@@ -183,6 +183,35 @@ impl TrainingConfigBuilder {
     }
 }
 
+/// How much of a session's stream the assessor actually saw — the
+/// degraded-mode tier an [`SessionAssessment`] was produced under, so
+/// downstream accuracy can be reported per tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// A proven session boundary or graceful end-of-input: the normal
+    /// tier, nothing was cut short.
+    #[default]
+    Full,
+    /// The subscriber was evicted under the subscriber-count cap (LRU)
+    /// while the session was still open; the tail may be missing.
+    Partial,
+    /// The subscriber was force-finalized by a memory *budget* (load
+    /// shedding); the session was assessed from whatever running state
+    /// existed at shed time.
+    Shed,
+}
+
+impl Fidelity {
+    /// Stable lowercase label (report tables, metric names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fidelity::Full => "full",
+            Fidelity::Partial => "partial",
+            Fidelity::Shed => "shed",
+        }
+    }
+}
+
 /// One assessed session, as the operator's dashboard would show it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionAssessment {
@@ -203,8 +232,23 @@ pub struct SessionAssessment {
     /// Composite 1–5 QoE estimate from the three detections.
     pub qoe: crate::qoe_score::QoeScore,
     /// True when the session was force-closed (its subscriber was
-    /// evicted under memory pressure), so the tail may be missing.
+    /// evicted or shed under memory pressure), so the tail may be
+    /// missing. Kept in sync with `fidelity`: `partial` is exactly
+    /// `fidelity != Fidelity::Full`.
     pub partial: bool,
+    /// The degraded-mode tier this assessment was produced under (see
+    /// [`Fidelity`]). Always agrees with `partial`.
+    pub fidelity: Fidelity,
+}
+
+impl SessionAssessment {
+    /// Tag this assessment with a degraded-mode tier, keeping the
+    /// legacy `partial` flag consistent.
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self.partial = fidelity != Fidelity::Full;
+        self
+    }
 }
 
 /// The trained QoE monitoring framework: all three detectors plus the
@@ -305,6 +349,7 @@ impl QoeMonitor {
                 has_quality_switches,
             ),
             partial: false,
+            fidelity: Fidelity::Full,
         }
     }
 

@@ -37,13 +37,204 @@ use serde::{Deserialize, Serialize};
 use vqoe_features::SessionObs;
 use vqoe_simnet::time::Instant;
 use vqoe_telemetry::{
-    validate_entry, AnomalyLog, IngestAnomaly, IngestConfig, ReassembledSession, RobustReassembler,
-    StreamHealth, WeblogEntry,
+    validate_entry, AnomalyLog, IngestAnomaly, IngestConfig, ReassembledSession, ReassemblerState,
+    RobustReassembler, StreamHealth, WeblogEntry,
 };
 
 use crate::engine::{shard_of, EngineConfig};
 use crate::metrics::PipelineMetrics;
-use crate::monitor::{QoeMonitor, SessionAssessment};
+use crate::monitor::{Fidelity, QoeMonitor, SessionAssessment};
+
+/// How the assessor reacts when the global memory budget is already
+/// exhausted and a *new* subscriber shows up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Admit the newcomer and force-finalize the coldest tracked
+    /// subscribers until the budget holds again (freshness wins).
+    #[default]
+    ShedColdest,
+    /// Refuse the newcomer outright (stability wins); the refusal is
+    /// counted and logged, never silent.
+    Refuse,
+}
+
+impl AdmissionPolicy {
+    /// Parse a CLI name (case-insensitive).
+    pub fn parse(s: &str) -> Option<AdmissionPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "shed" | "shed-coldest" => Some(AdmissionPolicy::ShedColdest),
+            "refuse" => Some(AdmissionPolicy::Refuse),
+            _ => None,
+        }
+    }
+}
+
+/// Memory budgets for the streaming assessor, accounted in
+/// [`WeblogEntry::tracked_cost`] units (record granularity). `0` means
+/// unlimited — the default configuration changes nothing.
+///
+/// Budgets apply to the *streaming* path only: the batch engine walks
+/// one subscriber per worker and never buffers more than a shard's
+/// queue slice, exactly as it already ignores
+/// [`IngestConfig::max_open_subscribers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BudgetConfig {
+    /// Per-subscriber cap on buffered bytes; a subscriber crossing it
+    /// is force-finalized ([`ShedReason::SubscriberBudget`]). `0` =
+    /// unlimited.
+    pub per_subscriber_bytes: u64,
+    /// Global cap on buffered bytes across all subscribers; while it is
+    /// exceeded the coldest subscribers are force-finalized
+    /// ([`ShedReason::GlobalBudget`]). `0` = unlimited.
+    pub global_bytes: u64,
+    /// What to do with new subscribers while the global budget is full.
+    pub admission: AdmissionPolicy,
+}
+
+impl BudgetConfig {
+    /// True when neither budget is set (the assessor behaves exactly as
+    /// before this layer existed).
+    pub fn is_unlimited(&self) -> bool {
+        self.per_subscriber_bytes == 0 && self.global_bytes == 0
+    }
+}
+
+/// Why a subscriber was force-finalized (or refused) instead of
+/// reaching a natural session boundary. Every shed is typed and logged
+/// — nothing is dropped silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The subscriber-count cap ([`IngestConfig::max_open_subscribers`])
+    /// evicted the least-recently-active subscriber.
+    LruCapacity,
+    /// The subscriber's own buffered bytes crossed
+    /// [`BudgetConfig::per_subscriber_bytes`].
+    SubscriberBudget,
+    /// The global buffered bytes crossed [`BudgetConfig::global_bytes`]
+    /// and this subscriber was the coldest.
+    GlobalBudget,
+    /// A new subscriber was refused admission under
+    /// [`AdmissionPolicy::Refuse`] while the global budget was full.
+    AdmissionRefused,
+}
+
+impl ShedReason {
+    /// Stable lowercase label (report tables, log lines).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::LruCapacity => "lru_capacity",
+            ShedReason::SubscriberBudget => "subscriber_budget",
+            ShedReason::GlobalBudget => "global_budget",
+            ShedReason::AdmissionRefused => "admission_refused",
+        }
+    }
+}
+
+/// One load-shedding event: who, at which ingested record, why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedEvent {
+    /// The subscriber that was force-finalized or refused.
+    pub subscriber_id: u64,
+    /// 1-based index of the ingested record that triggered the event
+    /// (the assessor's [`OnlineAssessor::records_ingested`] clock).
+    pub at_record: u64,
+    /// Why it happened.
+    pub reason: ShedReason,
+}
+
+/// Exact per-[`ShedReason`] counts; monotone sums that survive the
+/// [`ShedLog`] retention cap, mirroring [`AnomalyKindCounts`].
+///
+/// [`AnomalyKindCounts`]: vqoe_telemetry::AnomalyKindCounts
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedReasonCounts {
+    /// [`ShedReason::LruCapacity`] events.
+    pub lru_capacity: u64,
+    /// [`ShedReason::SubscriberBudget`] events.
+    pub subscriber_budget: u64,
+    /// [`ShedReason::GlobalBudget`] events.
+    pub global_budget: u64,
+    /// [`ShedReason::AdmissionRefused`] events.
+    pub admission_refused: u64,
+}
+
+impl ShedReasonCounts {
+    /// Count one event of the given reason.
+    pub fn record(&mut self, reason: ShedReason) {
+        match reason {
+            ShedReason::LruCapacity => self.lru_capacity += 1,
+            ShedReason::SubscriberBudget => self.subscriber_budget += 1,
+            ShedReason::GlobalBudget => self.global_budget += 1,
+            ShedReason::AdmissionRefused => self.admission_refused += 1,
+        }
+    }
+
+    /// The count for one reason.
+    pub fn of(&self, reason: ShedReason) -> u64 {
+        match reason {
+            ShedReason::LruCapacity => self.lru_capacity,
+            ShedReason::SubscriberBudget => self.subscriber_budget,
+            ShedReason::GlobalBudget => self.global_budget,
+            ShedReason::AdmissionRefused => self.admission_refused,
+        }
+    }
+
+    /// Sum across all reasons.
+    pub fn total(&self) -> u64 {
+        self.lru_capacity + self.subscriber_budget + self.global_budget + self.admission_refused
+    }
+}
+
+/// A bounded shed log, shaped like [`AnomalyLog`]: the first `cap`
+/// events verbatim, an exact total, and exact per-reason counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedLog {
+    kept: Vec<ShedEvent>,
+    total: u64,
+    cap: usize,
+    reasons: ShedReasonCounts,
+}
+
+impl ShedLog {
+    /// Empty log retaining at most `cap` individual events.
+    pub fn new(cap: usize) -> Self {
+        ShedLog {
+            kept: Vec::new(),
+            total: 0,
+            cap,
+            reasons: ShedReasonCounts::default(),
+        }
+    }
+
+    /// Record one event (always counted, kept only under the cap).
+    pub fn record(&mut self, e: ShedEvent) {
+        self.total += 1;
+        self.reasons.record(e.reason);
+        if self.kept.len() < self.cap {
+            self.kept.push(e);
+        }
+    }
+
+    /// The retention cap this log was built with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The retained events, oldest first.
+    pub fn kept(&self) -> &[ShedEvent] {
+        &self.kept
+    }
+
+    /// Exact number of events ever recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact per-reason counts (not subject to the retention cap).
+    pub fn reasons(&self) -> ShedReasonCounts {
+        self.reasons
+    }
+}
 
 /// Everything a closed tap run produced: the assessments plus the
 /// degradation telemetry accumulated along the way.
@@ -59,6 +250,11 @@ pub struct IngestReport {
     pub shard_health: Vec<StreamHealth>,
     /// The quarantine log (bounded, with an exact total).
     pub anomalies: AnomalyLog,
+    /// The load-shedding log (bounded, with an exact total). Always
+    /// empty on the batch engine path, which holds one subscriber per
+    /// worker and never sheds — so an unbudgeted streaming run stays
+    /// bit-identical to the engine at any worker count.
+    pub shed: ShedLog,
 }
 
 /// One shard's streaming state: the subscribers hashed onto it and the
@@ -82,11 +278,26 @@ pub struct OnlineAssessor {
     /// `ingest_cfg.max_open_subscribers`.
     shards: Vec<ShardState>,
     /// Eviction index: (activity watermark, subscriber id), oldest
-    /// first. Global — it mirrors the union of all shard maps.
+    /// first. Global — it mirrors the union of all shard maps. Ties on
+    /// the watermark are broken by the subscriber id (ascending), so
+    /// "coldest" is a total, deterministic order even when many
+    /// subscribers share one activity tick.
     lru: BTreeSet<(Instant, u64)>,
     /// Total subscribers currently tracked across all shards.
     tracked: usize,
+    /// Memory budgets and admission policy (default: unlimited).
+    budget: BudgetConfig,
+    /// Buffered bytes currently tracked across all subscribers, in
+    /// [`WeblogEntry::tracked_cost`] units.
+    tracked_bytes: u64,
+    /// High-water mark of `tracked_bytes` over the assessor's life.
+    peak_tracked_bytes: u64,
+    /// Entries offered to [`OnlineAssessor::ingest`] so far — the
+    /// deterministic clock that stamps [`ShedEvent::at_record`] and
+    /// anchors checkpoint/replay cut points.
+    records_ingested: u64,
     anomalies: AnomalyLog,
+    shed: ShedLog,
     metrics: Option<PipelineMetrics>,
 }
 
@@ -113,14 +324,27 @@ impl OnlineAssessor {
         OnlineAssessor {
             monitor,
             anomalies: AnomalyLog::new(ingest_cfg.max_anomalies_kept),
+            shed: ShedLog::new(ingest_cfg.max_anomalies_kept),
             ingest_cfg,
             shards: (0..engine_cfg.shards.max(1))
                 .map(|_| ShardState::default())
                 .collect(),
             lru: BTreeSet::new(),
             tracked: 0,
+            budget: BudgetConfig::default(),
+            tracked_bytes: 0,
+            peak_tracked_bytes: 0,
+            records_ingested: 0,
             metrics: None,
         }
+    }
+
+    /// Set the memory budgets and admission policy. Unlimited (`0`)
+    /// budgets leave every assessment bit-identical to an assessor
+    /// without this call.
+    pub fn with_budget(mut self, budget: BudgetConfig) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Attach a [`PipelineMetrics`] handle bundle: every ingested entry
@@ -162,11 +386,38 @@ impl OnlineAssessor {
         &self.anomalies
     }
 
+    /// The load-shedding log accumulated so far.
+    pub fn shed_log(&self) -> &ShedLog {
+        &self.shed
+    }
+
+    /// The memory budgets in effect.
+    pub fn budget(&self) -> &BudgetConfig {
+        &self.budget
+    }
+
+    /// Buffered bytes currently tracked, in
+    /// [`WeblogEntry::tracked_cost`] units.
+    pub fn tracked_bytes(&self) -> u64 {
+        self.tracked_bytes
+    }
+
+    /// High-water mark of [`OnlineAssessor::tracked_bytes`].
+    pub fn peak_tracked_bytes(&self) -> u64 {
+        self.peak_tracked_bytes
+    }
+
+    /// Entries offered to [`OnlineAssessor::ingest`] so far.
+    pub fn records_ingested(&self) -> u64 {
+        self.records_ingested
+    }
+
     /// Ingest one weblog entry, in tap arrival order. Returns every
     /// assessment this entry triggered: usually none, one when it
     /// closes a session, several when it forces an eviction whose
     /// flushed stream contained complete sessions.
     pub fn ingest(&mut self, entry: &WeblogEntry) -> Vec<SessionAssessment> {
+        self.records_ingested += 1;
         let shard = shard_of(entry.subscriber_id, self.shards.len());
         self.shards[shard].health.entries_seen += 1;
         if let Some(m) = &self.metrics {
@@ -195,6 +446,24 @@ impl OnlineAssessor {
             if !entry.is_service_host() {
                 return out;
             }
+            // Admission control: under `Refuse`, a newcomer that does
+            // not fit the remaining global budget is turned away at the
+            // door — counted and logged, its record dropped.
+            if self.budget.admission == AdmissionPolicy::Refuse
+                && self.budget.global_bytes > 0
+                && self.tracked_bytes + entry.tracked_cost() > self.budget.global_bytes
+            {
+                self.shards[shard].health.subscribers_refused += 1;
+                self.shed.record(ShedEvent {
+                    subscriber_id: entry.subscriber_id,
+                    at_record: self.records_ingested,
+                    reason: ShedReason::AdmissionRefused,
+                });
+                if let Some(m) = &self.metrics {
+                    m.subscribers_refused.inc();
+                }
+                return out;
+            }
             while self.tracked >= self.ingest_cfg.max_open_subscribers.max(1) {
                 let before = self.tracked;
                 out.extend(self.evict_oldest());
@@ -212,8 +481,10 @@ impl OnlineAssessor {
             }
         }
         let shard_state = &mut self.shards[shard];
+        let mut over_subscriber_budget = false;
         if let Some(machine) = shard_state.per_subscriber.get_mut(&entry.subscriber_id) {
             let before = machine.watermark();
+            let cost_before = machine.tracked_cost();
             // Snapshot health/kind counters around the push so the
             // registry sees exactly the deltas this entry caused
             // (`entries_seen` was already counted above).
@@ -221,11 +492,20 @@ impl OnlineAssessor {
             let kinds_before = self.anomalies.kinds();
             let sessions = machine.push(entry, &mut shard_state.health, &mut self.anomalies);
             let after = machine.watermark();
+            let cost_after = machine.tracked_cost();
+            self.tracked_bytes = self
+                .tracked_bytes
+                .saturating_sub(cost_before)
+                .saturating_add(cost_after);
+            self.peak_tracked_bytes = self.peak_tracked_bytes.max(self.tracked_bytes);
+            over_subscriber_budget = self.budget.per_subscriber_bytes > 0
+                && cost_after > self.budget.per_subscriber_bytes;
             if let Some(m) = &self.metrics {
                 let mut health_after = shard_state.health;
                 health_after.entries_seen = health_before.entries_seen;
                 m.observe_health_delta(&health_before, &health_after);
                 m.observe_kind_delta(&kinds_before, &self.anomalies.kinds());
+                m.tracked_bytes.set(self.tracked_bytes as i64);
             }
             if before != after {
                 if let Some(w) = before {
@@ -235,7 +515,27 @@ impl OnlineAssessor {
                     self.lru.insert((w, entry.subscriber_id));
                 }
             }
-            out.extend(sessions.iter().map(|s| self.assess(s, false)));
+            out.extend(sessions.iter().map(|s| self.assess(s, Fidelity::Full)));
+        }
+        // A subscriber that outgrew its own budget is force-finalized
+        // immediately: its buffered remains are assessed at the `Shed`
+        // tier and the slot is freed (the id may be re-admitted later).
+        if over_subscriber_budget {
+            out.extend(self.force_finalize(entry.subscriber_id, ShedReason::SubscriberBudget));
+        }
+        // While the global budget is exceeded, shed the coldest
+        // subscribers — deterministic: the LRU order is total.
+        if self.budget.global_bytes > 0 {
+            while self.tracked_bytes > self.budget.global_bytes {
+                let Some(&(_, coldest)) = self.lru.iter().next() else {
+                    break;
+                };
+                let before = self.tracked;
+                out.extend(self.force_finalize(coldest, ShedReason::GlobalBudget));
+                if self.tracked == before {
+                    break;
+                }
+            }
         }
         out
     }
@@ -256,6 +556,7 @@ impl OnlineAssessor {
             health: self.health(),
             shard_health: self.shard_health(),
             anomalies: self.anomalies,
+            shed: self.shed,
         }
     }
 
@@ -272,33 +573,67 @@ impl OnlineAssessor {
     /// Force-close the least-recently-active subscriber (across all
     /// shards) and assess its remains as partial sessions.
     fn evict_oldest(&mut self) -> Vec<SessionAssessment> {
-        let Some(&(w, id)) = self.lru.iter().next() else {
+        let Some(&(_, id)) = self.lru.iter().next() else {
             return Vec::new();
         };
-        self.lru.remove(&(w, id));
+        self.force_finalize(id, ShedReason::LruCapacity)
+    }
+
+    /// Force-close one subscriber's stream and assess its buffered
+    /// remains at the degraded tier implied by `reason`: LRU evictions
+    /// stay [`Fidelity::Partial`]; budget sheds are [`Fidelity::Shed`].
+    /// The event is always counted in the shed log — never silent.
+    fn force_finalize(&mut self, id: u64, reason: ShedReason) -> Vec<SessionAssessment> {
         let shard = shard_of(id, self.shards.len());
         let shard_state = &mut self.shards[shard];
         let Some(mut machine) = shard_state.per_subscriber.remove(&id) else {
             return Vec::new();
         };
+        if let Some(w) = machine.watermark() {
+            self.lru.remove(&(w, id));
+        }
         self.tracked -= 1;
-        shard_state.health.sessions_evicted += 1;
+        self.tracked_bytes = self.tracked_bytes.saturating_sub(machine.tracked_cost());
+        let fidelity = match reason {
+            ShedReason::LruCapacity => Fidelity::Partial,
+            _ => Fidelity::Shed,
+        };
+        match reason {
+            ShedReason::LruCapacity => shard_state.health.sessions_evicted += 1,
+            _ => shard_state.health.sessions_shed += 1,
+        }
         let sessions = machine.flush();
         shard_state.health.sessions_partial += sessions.len() as u64;
+        self.shed.record(ShedEvent {
+            subscriber_id: id,
+            at_record: self.records_ingested,
+            reason,
+        });
         if let Some(m) = &self.metrics {
-            m.online_evictions.inc();
-            m.sessions_evicted.inc();
+            match reason {
+                ShedReason::LruCapacity => {
+                    m.online_evictions.inc();
+                    m.sessions_evicted.inc();
+                }
+                _ => {
+                    m.online_sheds.inc();
+                    m.sessions_shed.inc();
+                }
+            }
             m.sessions_partial.add(sessions.len() as u64);
             m.open_subscribers.set(self.tracked as i64);
+            m.tracked_bytes.set(self.tracked_bytes as i64);
         }
-        sessions.iter().map(|s| self.assess(s, true)).collect()
+        sessions.iter().map(|s| self.assess(s, fidelity)).collect()
     }
 
     fn drain(&mut self) -> Vec<SessionAssessment> {
         self.lru.clear();
         self.tracked = 0;
+        self.tracked_bytes = 0;
         if let Some(m) = &self.metrics {
             m.open_subscribers.set(0);
+            m.tracked_bytes.set(0);
         }
         // Subscriber-id order across all shards, exactly as the
         // pre-shard single map walked it (and exactly the order the
@@ -312,22 +647,226 @@ impl OnlineAssessor {
         machines
             .into_iter()
             .flat_map(|(_, m)| m.finish())
-            .map(|s| self.assess(&s, false))
+            .map(|s| self.assess(&s, Fidelity::Full))
             .collect()
     }
 
-    fn assess(&self, session: &ReassembledSession, partial: bool) -> SessionAssessment {
+    fn assess(&self, session: &ReassembledSession, fidelity: Fidelity) -> SessionAssessment {
         let obs = SessionObs::from_reassembled(session);
-        let mut a = self
+        let a = self
             .monitor
-            .assess_session(&obs, session.start, session.end);
-        a.partial = partial;
+            .assess_session(&obs, session.start, session.end)
+            .with_fidelity(fidelity);
         if let Some(m) = &self.metrics {
             m.observe_session(session, &a);
         }
         a
     }
+
+    /// Snapshot the complete online state into a deterministic,
+    /// JSON-serializable checkpoint. Restoring it with
+    /// [`OnlineAssessor::restore`] and replaying the remaining records
+    /// produces an [`IngestReport`] bit-identical to the uninterrupted
+    /// run.
+    pub fn checkpoint(&self) -> OnlineCheckpoint {
+        OnlineCheckpoint {
+            version: CHECKPOINT_VERSION,
+            records_ingested: self.records_ingested,
+            ingest_cfg: self.ingest_cfg,
+            budget: self.budget,
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardCheckpoint {
+                    health: s.health,
+                    subscribers: s
+                        .per_subscriber
+                        .iter()
+                        .map(|(id, m)| (*id, m.to_state()))
+                        .collect(),
+                })
+                .collect(),
+            lru: self.lru.iter().copied().collect(),
+            peak_tracked_bytes: self.peak_tracked_bytes,
+            anomalies: self.anomalies.clone(),
+            shed: self.shed.clone(),
+            metrics_snapshot: None,
+        }
+    }
+
+    /// Like [`OnlineAssessor::checkpoint`], but also embeds the
+    /// `Stable`-class metrics snapshot of `registry`, so a restored
+    /// process resumes counting where the dead one stopped (via
+    /// [`Registry::absorb_snapshot`]).
+    ///
+    /// [`Registry::absorb_snapshot`]: vqoe_obs::Registry::absorb_snapshot
+    pub fn checkpoint_with_metrics(&self, registry: &vqoe_obs::Registry) -> OnlineCheckpoint {
+        let mut ck = self.checkpoint();
+        ck.metrics_snapshot = Some(registry.snapshot_json());
+        ck
+    }
+
+    /// Rebuild an assessor from a checkpoint around a freshly trained
+    /// (or reloaded) monitor. Derived state — per-machine buffered
+    /// costs, the global tracked-byte counter, the tracked-subscriber
+    /// count — is recomputed from the records themselves, so a snapshot
+    /// can never disagree with its own records; the LRU index is
+    /// validated against the subscriber set.
+    pub fn restore(
+        monitor: QoeMonitor,
+        ck: &OnlineCheckpoint,
+    ) -> Result<OnlineAssessor, RestoreError> {
+        if ck.version != CHECKPOINT_VERSION {
+            return Err(RestoreError::Version(ck.version));
+        }
+        if ck.shards.is_empty() {
+            return Err(RestoreError::Corrupt("checkpoint has no shards"));
+        }
+        let n = ck.shards.len();
+        let mut shards = Vec::with_capacity(n);
+        let mut tracked = 0usize;
+        let mut tracked_bytes = 0u64;
+        for (i, sc) in ck.shards.iter().enumerate() {
+            let mut per_subscriber = BTreeMap::new();
+            for (id, state) in &sc.subscribers {
+                if shard_of(*id, n) != i {
+                    return Err(RestoreError::Corrupt(
+                        "subscriber routed to the wrong shard",
+                    ));
+                }
+                let machine = RobustReassembler::from_state(state.clone());
+                tracked_bytes += machine.tracked_cost();
+                if per_subscriber.insert(*id, machine).is_some() {
+                    return Err(RestoreError::Corrupt("duplicate subscriber in one shard"));
+                }
+            }
+            tracked += per_subscriber.len();
+            shards.push(ShardState {
+                per_subscriber,
+                health: sc.health,
+            });
+        }
+        let lru: BTreeSet<(Instant, u64)> = ck.lru.iter().copied().collect();
+        if lru.len() != tracked {
+            return Err(RestoreError::Corrupt(
+                "LRU index does not match the subscriber set",
+            ));
+        }
+        for &(w, id) in &lru {
+            let shard = shard_of(id, n);
+            match shards[shard].per_subscriber.get(&id) {
+                Some(m) if m.watermark() == Some(w) => {}
+                _ => {
+                    return Err(RestoreError::Corrupt(
+                        "LRU entry disagrees with its subscriber's watermark",
+                    ))
+                }
+            }
+        }
+        Ok(OnlineAssessor {
+            monitor,
+            ingest_cfg: ck.ingest_cfg,
+            shards,
+            lru,
+            tracked,
+            budget: ck.budget,
+            tracked_bytes,
+            peak_tracked_bytes: ck.peak_tracked_bytes.max(tracked_bytes),
+            records_ingested: ck.records_ingested,
+            anomalies: ck.anomalies.clone(),
+            shed: ck.shed.clone(),
+            metrics: None,
+        })
+    }
 }
+
+/// Format version stamped into every [`OnlineCheckpoint`].
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One shard's checkpointed state: its health counters and every
+/// tracked subscriber's reassembler, in subscriber-id order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardCheckpoint {
+    /// The shard's monotone health counters.
+    pub health: StreamHealth,
+    /// `(subscriber id, reassembler state)` pairs, ascending by id
+    /// (the BTreeMap iteration order — deterministic by construction).
+    pub subscribers: Vec<(u64, ReassemblerState)>,
+}
+
+/// A byte-stable snapshot of the complete [`OnlineAssessor`] state.
+///
+/// Serialized via [`OnlineCheckpoint::to_json`]; every collection is
+/// ordered (BTreeMap/BTreeSet iteration, Vec preservation), so two
+/// checkpoints of identical state are byte-identical. Derived counters
+/// (buffered costs, tracked totals) are *not* stored — restore
+/// recomputes them from the records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineCheckpoint {
+    /// [`CHECKPOINT_VERSION`] at write time.
+    pub version: u32,
+    /// The ingest clock at the cut point: how many records the dead
+    /// process had consumed. Replay resumes at the next record.
+    pub records_ingested: u64,
+    /// The hardening parameters in effect.
+    pub ingest_cfg: IngestConfig,
+    /// The memory budgets in effect.
+    pub budget: BudgetConfig,
+    /// Per-shard state, indexed by shard id.
+    pub shards: Vec<ShardCheckpoint>,
+    /// The eviction index, oldest first.
+    pub lru: Vec<(Instant, u64)>,
+    /// High-water mark of tracked bytes at the cut point.
+    pub peak_tracked_bytes: u64,
+    /// The quarantine log at the cut point.
+    pub anomalies: AnomalyLog,
+    /// The shed log at the cut point.
+    pub shed: ShedLog,
+    /// Optional `Stable`-class metrics snapshot
+    /// ([`Registry::snapshot_json`] output) for counter continuity
+    /// across the restore.
+    ///
+    /// [`Registry::snapshot_json`]: vqoe_obs::Registry::snapshot_json
+    pub metrics_snapshot: Option<String>,
+}
+
+impl OnlineCheckpoint {
+    /// Serialize to deterministic JSON (byte-identical for identical
+    /// state).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parse a checkpoint previously written by
+    /// [`OnlineCheckpoint::to_json`].
+    pub fn from_json(s: &str) -> Result<OnlineCheckpoint, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Why [`OnlineAssessor::restore`] rejected a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The checkpoint was written by an incompatible format version.
+    Version(u32),
+    /// The checkpoint is internally inconsistent (wrong shard routing,
+    /// LRU/subscriber mismatch, ...).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Version(v) => write!(
+                f,
+                "unsupported checkpoint version {v} (this build reads {CHECKPOINT_VERSION})"
+            ),
+            RestoreError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
 
 #[cfg(test)]
 mod tests {

@@ -35,5 +35,5 @@ mod registry;
 mod reporter;
 
 pub use clock::{Clock, SimClock, StageSpan};
-pub use registry::{Counter, Gauge, Histogram, MetricClass, Registry};
+pub use registry::{Counter, Gauge, Histogram, MetricClass, Registry, SnapshotError};
 pub use reporter::{ReportLevel, Reporter};

@@ -337,6 +337,326 @@ impl Registry {
         out.push_str("\n  }\n}\n");
         out
     }
+
+    /// Fold a [`Registry::snapshot_json`] produced by an earlier run
+    /// back into this registry: counters and histograms add their saved
+    /// totals on top of the current values, gauges are set to the saved
+    /// value. This is the restore half of the pipeline's deterministic
+    /// checkpointing — absorb the snapshot into a freshly registered
+    /// registry, replay the input tail, and the final snapshot is
+    /// byte-identical to an uninterrupted run.
+    ///
+    /// Snapshot entries whose name is not registered here are skipped
+    /// (an older snapshot restored into a newer registry must not
+    /// fail); a registered name of a *different* metric kind, or a
+    /// histogram whose bucket boundaries changed, is an error. Returns
+    /// the number of metrics absorbed.
+    pub fn absorb_snapshot(&self, snapshot: &str) -> Result<usize, SnapshotError> {
+        let parsed = parse_snapshot(snapshot)?;
+        let entries = self.lock();
+        let mut absorbed = 0usize;
+        for (name, value) in &parsed.counters {
+            let Some(entry) = entries.get(name) else {
+                continue;
+            };
+            let Metric::Counter(c) = &entry.metric else {
+                return Err(SnapshotError::KindMismatch(name.clone()));
+            };
+            let v = u64::try_from(*value)
+                .map_err(|_| SnapshotError::Malformed("negative counter value"))?;
+            c.add(v);
+            absorbed += 1;
+        }
+        for (name, value) in &parsed.gauges {
+            let Some(entry) = entries.get(name) else {
+                continue;
+            };
+            let Metric::Gauge(g) = &entry.metric else {
+                return Err(SnapshotError::KindMismatch(name.clone()));
+            };
+            g.set(*value);
+            absorbed += 1;
+        }
+        for (name, parts) in &parsed.histograms {
+            let Some(entry) = entries.get(name) else {
+                continue;
+            };
+            let Metric::Histogram(h) = &entry.metric else {
+                return Err(SnapshotError::KindMismatch(name.clone()));
+            };
+            h.absorb_parts(parts)
+                .ok_or_else(|| SnapshotError::BoundsMismatch(name.clone()))?;
+            absorbed += 1;
+        }
+        Ok(absorbed)
+    }
+}
+
+/// Why [`Registry::absorb_snapshot`] rejected a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The text is not a well-formed snapshot (with a short reason).
+    Malformed(&'static str),
+    /// A snapshot metric is registered here as a different kind.
+    KindMismatch(String),
+    /// A snapshot histogram's bucket boundaries differ from the
+    /// registered ones.
+    BoundsMismatch(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Malformed(why) => write!(f, "malformed metrics snapshot: {why}"),
+            SnapshotError::KindMismatch(name) => {
+                write!(
+                    f,
+                    "snapshot metric {name} is registered as a different kind"
+                )
+            }
+            SnapshotError::BoundsMismatch(name) => {
+                write!(f, "snapshot histogram {name} has different bucket bounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Saved histogram state, as rendered by [`Registry::snapshot_json`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct HistogramParts {
+    /// `(upper bound, non-cumulative count)` per finite bucket.
+    buckets: Vec<(u64, u64)>,
+    /// The +Inf overflow bucket count.
+    inf: u64,
+    /// Sum of all observed samples.
+    sum: u64,
+    /// Number of observed samples.
+    count: u64,
+}
+
+impl Histogram {
+    /// Add saved bucket/sum/count state on top of the current values.
+    /// Returns `None` when the saved bounds differ from this
+    /// histogram's bounds.
+    fn absorb_parts(&self, parts: &HistogramParts) -> Option<()> {
+        if parts.buckets.len() != self.bounds.len()
+            || parts
+                .buckets
+                .iter()
+                .zip(self.bounds.iter())
+                .any(|(&(b, _), &have)| b != have)
+        {
+            return None;
+        }
+        for (slot, &(_, count)) in self.state.counts.iter().zip(parts.buckets.iter()) {
+            slot.fetch_add(count, Ordering::Relaxed);
+        }
+        if let Some(last) = self.state.counts.last() {
+            last.fetch_add(parts.inf, Ordering::Relaxed);
+        }
+        self.state.sum.fetch_add(parts.sum, Ordering::Relaxed);
+        self.state.count.fetch_add(parts.count, Ordering::Relaxed);
+        Some(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct ParsedSnapshot {
+    counters: Vec<(String, i64)>,
+    gauges: Vec<(String, i64)>,
+    histograms: Vec<(String, HistogramParts)>,
+}
+
+/// Hand-rolled parser for the (rigid) [`Registry::snapshot_json`]
+/// grammar: three fixed sections of `"name": value` pairs, where a
+/// histogram value is an object with `buckets`/`inf`/`sum`/`count`
+/// keys. The crate is std-only by design, so the snapshot format is
+/// parsed by the same hand that prints it.
+fn parse_snapshot(text: &str) -> Result<ParsedSnapshot, SnapshotError> {
+    let mut p = Cursor::new(text);
+    let mut out = ParsedSnapshot::default();
+    p.eat('{')?;
+    for (section, want) in [("counters", 0usize), ("gauges", 1), ("histograms", 2)] {
+        let key = p.string()?;
+        if key != section {
+            return Err(SnapshotError::Malformed("unexpected section name"));
+        }
+        p.eat(':')?;
+        p.eat('{')?;
+        if p.peek() == Some('}') {
+            p.eat('}')?;
+        } else {
+            loop {
+                let name = p.string()?;
+                p.eat(':')?;
+                match want {
+                    0 => out.counters.push((name, p.integer()?)),
+                    1 => out.gauges.push((name, p.integer()?)),
+                    _ => out.histograms.push((name, p.histogram()?)),
+                }
+                if p.peek() == Some(',') {
+                    p.eat(',')?;
+                } else {
+                    break;
+                }
+            }
+            p.eat('}')?;
+        }
+        if section != "histograms" {
+            p.eat(',')?;
+        }
+    }
+    p.eat('}')?;
+    p.skip_ws();
+    if !p.done() {
+        return Err(SnapshotError::Malformed("trailing content"));
+    }
+    Ok(out)
+}
+
+/// Character cursor for [`parse_snapshot`]; skips whitespace before
+/// every token.
+struct Cursor<'a> {
+    rest: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor {
+            rest: text.chars().peekable(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            self.rest.next();
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest.peek().copied()
+    }
+
+    fn done(&mut self) -> bool {
+        self.rest.peek().is_none()
+    }
+
+    fn eat(&mut self, want: char) -> Result<(), SnapshotError> {
+        if self.peek() == Some(want) {
+            self.rest.next();
+            Ok(())
+        } else {
+            Err(SnapshotError::Malformed("unexpected token"))
+        }
+    }
+
+    /// A JSON string, undoing [`json_string`]'s escapes.
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            match self.rest.next() {
+                None => return Err(SnapshotError::Malformed("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.rest.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .rest
+                                .next()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or(SnapshotError::Malformed("bad unicode escape"))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or(SnapshotError::Malformed("bad unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(SnapshotError::Malformed("unknown escape")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    /// A (possibly negative) integer.
+    fn integer(&mut self) -> Result<i64, SnapshotError> {
+        self.skip_ws();
+        let negative = self.rest.peek() == Some(&'-');
+        if negative {
+            self.rest.next();
+        }
+        let mut digits = String::new();
+        while self.rest.peek().is_some_and(|c| c.is_ascii_digit()) {
+            if let Some(c) = self.rest.next() {
+                digits.push(c);
+            }
+        }
+        if digits.is_empty() {
+            return Err(SnapshotError::Malformed("expected integer"));
+        }
+        let magnitude: i64 = digits
+            .parse()
+            .map_err(|_| SnapshotError::Malformed("integer out of range"))?;
+        Ok(if negative { -magnitude } else { magnitude })
+    }
+
+    fn unsigned(&mut self) -> Result<u64, SnapshotError> {
+        u64::try_from(self.integer()?).map_err(|_| SnapshotError::Malformed("expected unsigned"))
+    }
+
+    /// A histogram value object, keys in snapshot order.
+    fn histogram(&mut self) -> Result<HistogramParts, SnapshotError> {
+        let mut parts = HistogramParts::default();
+        self.eat('{')?;
+        for key in ["buckets", "inf", "sum", "count"] {
+            if self.string()? != key {
+                return Err(SnapshotError::Malformed("unexpected histogram key"));
+            }
+            self.eat(':')?;
+            if key == "buckets" {
+                self.eat('[')?;
+                if self.peek() == Some(']') {
+                    self.eat(']')?;
+                } else {
+                    loop {
+                        self.eat('[')?;
+                        let bound = self.unsigned()?;
+                        self.eat(',')?;
+                        let count = self.unsigned()?;
+                        self.eat(']')?;
+                        parts.buckets.push((bound, count));
+                        if self.peek() == Some(',') {
+                            self.eat(',')?;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.eat(']')?;
+                }
+            } else {
+                let v = self.unsigned()?;
+                match key {
+                    "inf" => parts.inf = v,
+                    "sum" => parts.sum = v,
+                    _ => parts.count = v,
+                }
+            }
+            if key != "count" {
+                self.eat(',')?;
+            }
+        }
+        self.eat('}')?;
+        Ok(parts)
+    }
 }
 
 /// Minimal JSON string escaping (metric names are `[a-z0-9_]` by
@@ -484,5 +804,104 @@ mod tests {
         let snap = reg.snapshot_json();
         assert!(snap.contains("\"counters\""));
         assert!(snap.contains("\"histograms\""));
+    }
+
+    fn populated() -> Registry {
+        let reg = Registry::new();
+        reg.counter("vqoe_test_events_total", "e", MetricClass::Stable)
+            .add(17);
+        reg.gauge("vqoe_test_open", "o", MetricClass::Stable)
+            .set(-4);
+        let h = reg.histogram("vqoe_test_sizes", "s", MetricClass::Stable, &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5_000);
+        reg
+    }
+
+    #[test]
+    fn absorb_snapshot_restores_counters_gauges_and_histograms() {
+        let saved = populated().snapshot_json();
+        let fresh = Registry::new();
+        let c = fresh.counter("vqoe_test_events_total", "e", MetricClass::Stable);
+        let g = fresh.gauge("vqoe_test_open", "o", MetricClass::Stable);
+        let h = fresh.histogram("vqoe_test_sizes", "s", MetricClass::Stable, &[10, 100]);
+        let absorbed = fresh.absorb_snapshot(&saved).expect("snapshot parses");
+        assert_eq!(absorbed, 3);
+        assert_eq!(c.get(), 17);
+        assert_eq!(g.get(), -4);
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1]);
+        assert_eq!(h.sum(), 5_055);
+        assert_eq!(h.count(), 3);
+        // Round trip: the restored registry snapshots byte-identically.
+        assert_eq!(fresh.snapshot_json(), saved);
+    }
+
+    #[test]
+    fn absorb_adds_on_top_of_existing_values() {
+        let saved = populated().snapshot_json();
+        let reg = populated();
+        reg.absorb_snapshot(&saved).expect("snapshot parses");
+        assert_eq!(
+            reg.counter("vqoe_test_events_total", "e", MetricClass::Stable)
+                .get(),
+            34
+        );
+        // Gauges are set, not summed: last write wins.
+        assert_eq!(
+            reg.gauge("vqoe_test_open", "o", MetricClass::Stable).get(),
+            -4
+        );
+        let h = reg.histogram("vqoe_test_sizes", "s", MetricClass::Stable, &[10, 100]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 10_110);
+    }
+
+    #[test]
+    fn absorb_skips_unknown_names_but_rejects_kind_mismatch() {
+        let saved = populated().snapshot_json();
+        // No registered metrics at all: everything is skipped.
+        let empty = Registry::new();
+        assert_eq!(empty.absorb_snapshot(&saved), Ok(0));
+        // Same name registered as the wrong kind: typed error.
+        let wrong = Registry::new();
+        wrong.gauge("vqoe_test_events_total", "e", MetricClass::Stable);
+        assert_eq!(
+            wrong.absorb_snapshot(&saved),
+            Err(SnapshotError::KindMismatch(
+                "vqoe_test_events_total".to_string()
+            ))
+        );
+        // Same histogram with different bounds: typed error.
+        let bounds = Registry::new();
+        bounds.histogram("vqoe_test_sizes", "s", MetricClass::Stable, &[10, 999]);
+        assert_eq!(
+            bounds.absorb_snapshot(&saved),
+            Err(SnapshotError::BoundsMismatch("vqoe_test_sizes".to_string()))
+        );
+    }
+
+    #[test]
+    fn absorb_rejects_malformed_snapshots() {
+        let reg = Registry::new();
+        for bad in [
+            "",
+            "{",
+            "not json",
+            "{\n  \"counters\": {\n    \"x\": notanumber\n  },\n",
+            &populated().snapshot_json().replace("counters", "cnt"),
+        ] {
+            assert!(matches!(
+                reg.absorb_snapshot(bad),
+                Err(SnapshotError::Malformed(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn absorb_handles_empty_sections() {
+        let empty_snapshot = Registry::new().snapshot_json();
+        let reg = populated();
+        assert_eq!(reg.absorb_snapshot(&empty_snapshot), Ok(0));
     }
 }

@@ -37,7 +37,8 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vqoe_simnet::time::{Duration, Instant};
 
-use crate::weblog::WeblogEntry;
+use crate::weblog::{EntryKind, WeblogEntry};
+use vqoe_player::TransportSummary;
 
 /// Per-entry probabilities and bounds for each fault operation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -314,6 +315,235 @@ pub fn apply_chaos(
         out.push(e);
     }
     (out, tap.stats())
+}
+
+// ---------------------------------------------------------------------
+// Load chaos: hostile *volume* rather than hostile records. The fault
+// tap above damages individual entries; the generators below produce
+// whole well-formed streams shaped to exhaust the assessor's memory —
+// subscriber floods, synchronized burst storms, and pathological
+// never-ending sessions. They compose with [`ChaosTap`]: generate the
+// load, merge it with the organic stream, then run the merged stream
+// through the fault tap.
+// ---------------------------------------------------------------------
+
+/// Shape of a synthetic subscriber flood.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FloodSpec {
+    /// Number of distinct flood subscribers.
+    pub subscribers: u64,
+    /// Media chunks each flood subscriber downloads.
+    pub chunks_per_subscriber: usize,
+    /// Spacing between a subscriber's consecutive chunks.
+    pub chunk_gap: Duration,
+    /// Flood subscriber ids are `id_base..id_base + subscribers` —
+    /// keep this disjoint from the organic id space.
+    pub id_base: u64,
+    /// Subscriber start times are scattered across this window, so the
+    /// flood ramps up instead of arriving as one spike.
+    pub window: Duration,
+}
+
+impl Default for FloodSpec {
+    fn default() -> Self {
+        FloodSpec {
+            subscribers: 64,
+            chunks_per_subscriber: 24,
+            chunk_gap: Duration::from_secs(2),
+            id_base: 0xF100D,
+            window: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Transport annotations for synthetic load entries. Structurally
+/// valid, deliberately unremarkable: load chaos stresses memory, not
+/// the detectors.
+fn load_transport(rng: &mut StdRng) -> TransportSummary {
+    let rtt = rng.gen_range(0.03..0.2);
+    TransportSummary {
+        rtt_min: rtt,
+        rtt_mean: rtt * rng.gen_range(1.0..1.3),
+        rtt_max: rtt * rng.gen_range(1.3..2.2),
+        bdp_mean: rng.gen_range(50_000.0..400_000.0),
+        bif_mean: rng.gen_range(5_000.0..60_000.0),
+        bif_max: rng.gen_range(60_000.0..180_000.0),
+        loss_frac: 0.0,
+        retx_frac: 0.0,
+    }
+}
+
+fn load_page_entry(subscriber_id: u64, t: Instant, rng: &mut StdRng) -> WeblogEntry {
+    WeblogEntry {
+        timestamp: t,
+        subscriber_id,
+        host: "m.youtube.com".to_string(),
+        uri: None,
+        bytes: rng.gen_range(30_000..200_000),
+        duration: Duration::from_millis(rng.gen_range(100..900)),
+        transport: load_transport(rng),
+        encrypted: true,
+        kind: EntryKind::PageLoad,
+    }
+}
+
+fn load_media_entry(subscriber_id: u64, t: Instant, rng: &mut StdRng) -> WeblogEntry {
+    WeblogEntry {
+        timestamp: t,
+        subscriber_id,
+        host: format!(
+            "r{}---sn-load{:02}.googlevideo.com",
+            1 + subscriber_id % 8,
+            subscriber_id % 100
+        ),
+        uri: None,
+        bytes: rng.gen_range(250_000..2_500_000),
+        duration: Duration::from_millis(rng.gen_range(400..3_000)),
+        transport: load_transport(rng),
+        encrypted: true,
+        kind: EntryKind::MediaChunk,
+    }
+}
+
+/// Generate a subscriber flood: `spec.subscribers` fresh subscribers,
+/// each opening a session (page load + steady media chunks) with start
+/// times scattered across `spec.window` after `start`. Entries come
+/// back in timestamp order. Every `(spec, start, seed)` triple yields
+/// the same flood.
+pub fn generate_subscriber_flood(spec: &FloodSpec, start: Instant, seed: u64) -> Vec<WeblogEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let window = spec.window.as_micros().max(1);
+    for s in 0..spec.subscribers {
+        let id = spec.id_base + s;
+        let t0 = start + Duration(rng.gen_range(0..window));
+        out.push(load_page_entry(id, t0, &mut rng));
+        let mut t = t0 + Duration::from_millis(rng.gen_range(200..1_200));
+        for _ in 0..spec.chunks_per_subscriber {
+            out.push(load_media_entry(id, t, &mut rng));
+            t += spec.chunk_gap;
+        }
+    }
+    out.sort_by_key(|e| e.timestamp);
+    out
+}
+
+/// Generate a burst storm: every listed subscriber fires `burst_size`
+/// media chunks nearly simultaneously, `bursts` times, one burst every
+/// `period`. This is the synchronized-spike pattern (ad break, live
+/// event) that defeats per-subscriber pacing assumptions and lands many
+/// equal activity watermarks at once — exactly the LRU tie-break case.
+pub fn generate_burst_storm(
+    subscribers: &[u64],
+    bursts: usize,
+    burst_size: usize,
+    period: Duration,
+    start: Instant,
+    seed: u64,
+) -> Vec<WeblogEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for b in 0..bursts {
+        let at = start + Duration(period.as_micros().saturating_mul(b as u64));
+        for &id in subscribers {
+            for _ in 0..burst_size {
+                let jitter = Duration::from_millis(rng.gen_range(0..50));
+                out.push(load_media_entry(id, at + jitter, &mut rng));
+            }
+        }
+    }
+    out.sort_by_key(|e| e.timestamp);
+    out
+}
+
+/// Generate a pathological session: one subscriber whose chunk cadence
+/// never pauses longer than `gap`, so no idle boundary ever closes the
+/// session and its open group grows without limit. Pick `gap` below the
+/// reassembly `idle_gap` (default 30 s) for the never-ending effect;
+/// `chunks` controls how giant the session gets.
+pub fn generate_pathological_session(
+    subscriber_id: u64,
+    start: Instant,
+    chunks: usize,
+    gap: Duration,
+    seed: u64,
+) -> Vec<WeblogEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![load_page_entry(subscriber_id, start, &mut rng)];
+    let mut t = start + Duration::from_millis(rng.gen_range(200..1_200));
+    for _ in 0..chunks {
+        out.push(load_media_entry(subscriber_id, t, &mut rng));
+        t += gap;
+    }
+    out
+}
+
+/// Merge several entry streams into one tap stream, ordered by
+/// timestamp. The sort is stable, so entries with equal timestamps keep
+/// their input-stream order — merging is deterministic.
+pub fn merge_streams(streams: Vec<Vec<WeblogEntry>>) -> Vec<WeblogEntry> {
+    let mut out: Vec<WeblogEntry> = streams.into_iter().flatten().collect();
+    out.sort_by_key(|e| e.timestamp);
+    out
+}
+
+/// Named chaos presets, so operators (and `vqoe assess
+/// --chaos-profile`) don't have to tune six probabilities by hand.
+///
+/// | profile | fault mix | load |
+/// |---------|-----------|------|
+/// | `mild`  | [`ChaosConfig::uniform`]`(0.05)` | none |
+/// | `harsh` | [`ChaosConfig::uniform`]`(0.35)` | none |
+/// | `flood` | [`ChaosConfig::uniform`]`(0.05)` | [`FloodSpec::default`] subscriber flood |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaosProfile {
+    /// Light record faults: the healthy-tap background rate.
+    Mild,
+    /// Heavy record faults: a degraded aggregator.
+    Harsh,
+    /// Light record faults plus a default subscriber flood.
+    Flood,
+}
+
+impl ChaosProfile {
+    /// Every profile, in documentation order.
+    pub const ALL: [ChaosProfile; 3] =
+        [ChaosProfile::Mild, ChaosProfile::Harsh, ChaosProfile::Flood];
+
+    /// Parse a CLI name (case-insensitive).
+    pub fn parse(s: &str) -> Option<ChaosProfile> {
+        match s.to_ascii_lowercase().as_str() {
+            "mild" => Some(ChaosProfile::Mild),
+            "harsh" => Some(ChaosProfile::Harsh),
+            "flood" => Some(ChaosProfile::Flood),
+            _ => None,
+        }
+    }
+
+    /// The profile's CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosProfile::Mild => "mild",
+            ChaosProfile::Harsh => "harsh",
+            ChaosProfile::Flood => "flood",
+        }
+    }
+
+    /// The record-fault mix of this profile.
+    pub fn chaos(&self) -> ChaosConfig {
+        match self {
+            ChaosProfile::Mild | ChaosProfile::Flood => ChaosConfig::uniform(0.05),
+            ChaosProfile::Harsh => ChaosConfig::uniform(0.35),
+        }
+    }
+
+    /// The load component of this profile, if it has one.
+    pub fn flood(&self) -> Option<FloodSpec> {
+        match self {
+            ChaosProfile::Flood => Some(FloodSpec::default()),
+            ChaosProfile::Mild | ChaosProfile::Harsh => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -27,7 +27,9 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 use vqoe_simnet::time::{Duration, Instant};
 
-use crate::reassembly::{ReassembledSession, ReassemblyConfig, StreamReassembler};
+use crate::reassembly::{
+    ReassembledSession, ReassemblyConfig, StreamReassembler, StreamReassemblerState,
+};
 use crate::weblog::WeblogEntry;
 
 /// Tunables for the graceful-degradation layer.
@@ -246,6 +248,12 @@ pub struct StreamHealth {
     pub sessions_evicted: u64,
     /// Sessions assessed from an evicted (force-closed) stream.
     pub sessions_partial: u64,
+    /// Subscribers force-finalized to satisfy a memory *budget* (bytes),
+    /// as opposed to the subscriber-count cap behind `sessions_evicted`.
+    pub sessions_shed: u64,
+    /// New subscribers refused admission because the global memory
+    /// budget was already exhausted (their entries are never tracked).
+    pub subscribers_refused: u64,
 }
 
 impl StreamHealth {
@@ -259,6 +267,8 @@ impl StreamHealth {
         self.entries_quarantined += other.entries_quarantined;
         self.sessions_evicted += other.sessions_evicted;
         self.sessions_partial += other.sessions_partial;
+        self.sessions_shed += other.sessions_shed;
+        self.subscribers_refused += other.subscribers_refused;
     }
 
     /// Sum of all counters — a cheap monotonicity witness for tests.
@@ -269,6 +279,8 @@ impl StreamHealth {
             + self.entries_quarantined
             + self.sessions_evicted
             + self.sessions_partial
+            + self.sessions_shed
+            + self.subscribers_refused
     }
 }
 
@@ -305,6 +317,31 @@ pub struct RobustReassembler {
     recent: VecDeque<WeblogEntry>,
     /// Newest timestamp seen from this subscriber.
     watermark: Option<Instant>,
+    /// Deterministic cost of `pending` + `recent` (sum of
+    /// [`WeblogEntry::tracked_cost`]), maintained incrementally so
+    /// [`RobustReassembler::tracked_cost`] is O(1).
+    buffered_cost: u64,
+}
+
+/// Serializable snapshot of one subscriber's [`RobustReassembler`]: the
+/// reorder buffer, the dedup memory, the open session group, and both
+/// configurations. Buffers are `Vec`-shaped (front first) so the whole
+/// struct round-trips through the workspace's hand-rolled JSON layer;
+/// derived cost counters are recomputed on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReassemblerState {
+    /// Ingest hardening tunables in effect.
+    pub cfg: IngestConfig,
+    /// Reassembly tunables in effect.
+    pub reassembly: ReassemblyConfig,
+    /// The wrapped §5.2 state machine.
+    pub inner: StreamReassemblerState,
+    /// The reorder buffer, sorted by timestamp (front first).
+    pub pending: Vec<WeblogEntry>,
+    /// The dedup memory, oldest released entry first.
+    pub recent: Vec<WeblogEntry>,
+    /// Newest timestamp seen from this subscriber.
+    pub watermark: Option<Instant>,
 }
 
 impl RobustReassembler {
@@ -317,6 +354,38 @@ impl RobustReassembler {
             pending: VecDeque::new(),
             recent: VecDeque::new(),
             watermark: None,
+            buffered_cost: 0,
+        }
+    }
+
+    /// Snapshot the full per-subscriber state for checkpointing.
+    pub fn to_state(&self) -> ReassemblerState {
+        ReassemblerState {
+            cfg: self.cfg,
+            reassembly: self.reassembly,
+            inner: self.inner.to_state(),
+            pending: self.pending.iter().cloned().collect(),
+            recent: self.recent.iter().cloned().collect(),
+            watermark: self.watermark,
+        }
+    }
+
+    /// Rebuild a reassembler from a snapshot, recomputing cost counters.
+    pub fn from_state(state: ReassemblerState) -> Self {
+        let buffered_cost = state
+            .pending
+            .iter()
+            .chain(state.recent.iter())
+            .map(|e| e.tracked_cost())
+            .sum();
+        RobustReassembler {
+            cfg: state.cfg,
+            reassembly: state.reassembly,
+            inner: StreamReassembler::from_state(state.inner),
+            pending: state.pending.into(),
+            recent: state.recent.into(),
+            watermark: state.watermark,
+            buffered_cost,
         }
     }
 
@@ -329,6 +398,14 @@ impl RobustReassembler {
     /// Entries currently buffered (reorder window + open session group).
     pub fn open_entries(&self) -> usize {
         self.inner.open_entries() + self.pending.len()
+    }
+
+    /// Deterministic memory cost of everything buffered for this
+    /// subscriber: reorder buffer + dedup memory + open session group,
+    /// in [`WeblogEntry::tracked_cost`] units. This is the quantity the
+    /// online assessor's memory budgets account.
+    pub fn tracked_cost(&self) -> u64 {
+        self.buffered_cost + self.inner.buffered_cost()
     }
 
     /// Feed one entry in arrival order. Completed sessions (possibly
@@ -374,6 +451,7 @@ impl RobustReassembler {
         if pos < self.pending.len() {
             health.entries_reordered += 1;
         }
+        self.buffered_cost += e.tracked_cost();
         self.pending.insert(pos, e.clone());
         self.watermark = Some(self.watermark.map_or(e.timestamp, |w| w.max(e.timestamp)));
         self.release()
@@ -394,6 +472,7 @@ impl RobustReassembler {
             .is_some_and(|front| w.duration_since(front.timestamp) > self.cfg.reorder_window)
         {
             if let Some(e) = self.pending.pop_front() {
+                self.buffered_cost = self.buffered_cost.saturating_sub(e.tracked_cost());
                 done.extend(self.feed_inner(&e));
             }
         }
@@ -401,9 +480,12 @@ impl RobustReassembler {
     }
 
     fn feed_inner(&mut self, e: &WeblogEntry) -> Vec<ReassembledSession> {
+        self.buffered_cost += e.tracked_cost();
         self.recent.push_back(e.clone());
         while self.recent.len() > self.cfg.dedup_depth {
-            self.recent.pop_front();
+            if let Some(old) = self.recent.pop_front() {
+                self.buffered_cost = self.buffered_cost.saturating_sub(old.tracked_cost());
+            }
         }
         self.inner.push(e).into_iter().collect()
     }
@@ -414,12 +496,14 @@ impl RobustReassembler {
     pub fn flush(&mut self) -> Vec<ReassembledSession> {
         let mut done = Vec::new();
         while let Some(e) = self.pending.pop_front() {
+            self.buffered_cost = self.buffered_cost.saturating_sub(e.tracked_cost());
             done.extend(self.feed_inner(&e));
         }
         let machine = std::mem::replace(&mut self.inner, StreamReassembler::new(self.reassembly));
         done.extend(machine.finish());
         self.recent.clear();
         self.watermark = None;
+        self.buffered_cost = 0;
         done
     }
 

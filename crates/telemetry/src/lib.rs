@@ -55,16 +55,20 @@ pub mod uri;
 pub mod weblog;
 
 pub use capture::{capture_session, CaptureConfig};
-pub use chaos::{apply_chaos, ChaosConfig, ChaosStats, ChaosTap};
+pub use chaos::{
+    apply_chaos, generate_burst_storm, generate_pathological_session, generate_subscriber_flood,
+    merge_streams, ChaosConfig, ChaosProfile, ChaosStats, ChaosTap, FloodSpec,
+};
 pub use dataset::{join_sessions, read_jsonl, write_jsonl, JoinedSession};
 pub use error::TelemetryError;
 pub use groundtruth::{extract_sessions, ExtractedChunk, ExtractedSession};
 pub use ingest::{
     robust_reassemble_subscriber, validate_entry, AnomalyKind, AnomalyKindCounts, AnomalyLog,
-    IngestAnomaly, IngestConfig, RobustReassembler, StreamHealth,
+    IngestAnomaly, IngestConfig, ReassemblerState, RobustReassembler, StreamHealth,
 };
 pub use reassembly::{
     reassemble_subscriber, ReassembledSession, ReassemblyConfig, StreamReassembler,
+    StreamReassemblerState,
 };
 pub use uri::{PlaybackReport, VideoPlaybackParams};
-pub use weblog::{EntryKind, WeblogEntry};
+pub use weblog::{EntryKind, WeblogEntry, RECORD_OVERHEAD_BYTES};

@@ -84,6 +84,28 @@ pub struct StreamReassembler {
     current: Vec<WeblogEntry>,
     last_seen: Option<Instant>,
     last_media: Option<Instant>,
+    /// Deterministic cost of `current` (sum of
+    /// [`WeblogEntry::tracked_cost`]), maintained incrementally so the
+    /// memory-budget check stays O(1) per entry.
+    buffered_cost: u64,
+}
+
+/// Serializable snapshot of a [`StreamReassembler`] — the open session
+/// group and the boundary clocks. `Vec`-shaped on purpose: it feeds the
+/// checkpoint/restore path, which serializes through the workspace's
+/// hand-rolled JSON layer. The derived cost counter is *not* stored; it
+/// is recomputed on restore, so a snapshot can never disagree with its
+/// own records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamReassemblerState {
+    /// Reassembly tunables in effect.
+    pub config: ReassemblyConfig,
+    /// The currently open session group, in push order.
+    pub current: Vec<WeblogEntry>,
+    /// Arrival time of the newest service entry.
+    pub last_seen: Option<Instant>,
+    /// Arrival time of the newest media chunk.
+    pub last_media: Option<Instant>,
 }
 
 impl StreamReassembler {
@@ -94,7 +116,36 @@ impl StreamReassembler {
             current: Vec::new(),
             last_seen: None,
             last_media: None,
+            buffered_cost: 0,
         }
+    }
+
+    /// Snapshot the machine for checkpointing.
+    pub fn to_state(&self) -> StreamReassemblerState {
+        StreamReassemblerState {
+            config: self.config,
+            current: self.current.clone(),
+            last_seen: self.last_seen,
+            last_media: self.last_media,
+        }
+    }
+
+    /// Rebuild a machine from a snapshot, recomputing the cost counter.
+    pub fn from_state(state: StreamReassemblerState) -> Self {
+        let buffered_cost = state.current.iter().map(|e| e.tracked_cost()).sum();
+        StreamReassembler {
+            config: state.config,
+            current: state.current,
+            last_seen: state.last_seen,
+            last_media: state.last_media,
+            buffered_cost,
+        }
+    }
+
+    /// Deterministic memory cost of the open session group (sum of
+    /// [`WeblogEntry::tracked_cost`] over buffered entries).
+    pub fn buffered_cost(&self) -> u64 {
+        self.buffered_cost
     }
 
     /// Feed one entry (must arrive in timestamp order). Returns the
@@ -128,6 +179,7 @@ impl StreamReassembler {
             self.last_media = Some(e.arrival_time());
         }
         self.last_seen = Some(e.arrival_time());
+        self.buffered_cost += e.tracked_cost();
         self.current.push(e.clone());
         emitted
     }
@@ -144,6 +196,7 @@ impl StreamReassembler {
 
     fn take_session(&mut self) -> Option<ReassembledSession> {
         let batch = std::mem::take(&mut self.current);
+        self.buffered_cost = 0;
         let start = batch.first()?.timestamp;
         let chunks: Vec<WeblogEntry> = batch
             .iter()

@@ -56,11 +56,28 @@ pub struct WeblogEntry {
     pub kind: EntryKind,
 }
 
+/// Fixed bookkeeping cost charged per buffered record, on top of the
+/// variable-length fields. The value is a platform-independent model of
+/// the in-memory footprint (struct body plus container slack), chosen
+/// deliberately over `size_of` so budget arithmetic — and therefore
+/// admission/shedding decisions — is identical on every target.
+pub const RECORD_OVERHEAD_BYTES: u64 = 192;
+
 impl WeblogEntry {
     /// Arrival time of the object's last byte — the "chunk time" of
     /// Table 1.
     pub fn arrival_time(&self) -> Instant {
         self.timestamp + self.duration
+    }
+
+    /// Deterministic memory cost charged while this record is buffered:
+    /// [`RECORD_OVERHEAD_BYTES`] plus the variable-length fields. This
+    /// is the record-granularity unit all ingest memory budgets are
+    /// accounted in.
+    pub fn tracked_cost(&self) -> u64 {
+        RECORD_OVERHEAD_BYTES
+            + self.host.len() as u64
+            + self.uri.as_ref().map_or(0, |u| u.len() as u64)
     }
 
     /// Is this transaction addressed to the video service (any of its

@@ -13,6 +13,8 @@
 #   BENCH_pr4.json               machine-readable record (overhead_pct)
 #   results/train-scaling.txt    training fan-out scaling report
 #   BENCH_pr5.json               machine-readable record (speedup_4v1)
+#   results/overload-sweep.txt   overload/shedding/restore report
+#   BENCH_pr7.json               machine-readable record (shed_rate, tiers)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +47,13 @@ echo "==> repro train-scaling (quick mode)"
 
 echo "==> BENCH_pr5.json"
 cat BENCH_pr5.json
+
+echo "==> repro overload-sweep (quick mode)"
+./target/release/repro overload-sweep --smoke \
+  --bench-json BENCH_pr7.json --out results
+
+echo "==> BENCH_pr7.json"
+cat BENCH_pr7.json
 
 if [[ "$FULL" == "1" ]]; then
   echo "==> cargo bench -p vqoe-bench (Criterion)"

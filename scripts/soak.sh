@@ -9,3 +9,6 @@ cd "$(dirname "$0")/.."
 
 echo "==> chaos soak (release, --ignored)"
 cargo test --release -q -p vqoe-core --test chaos_matrix -- --ignored
+
+echo "==> overload soak (release, --ignored)"
+cargo test --release -q -p vqoe-core --test overload -- --ignored
