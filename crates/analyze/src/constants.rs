@@ -167,6 +167,49 @@ const GROUPS: &[Group] = &[
             },
         ],
     },
+    Group {
+        what: "binary weblog format version (§13, 1)",
+        sites: &[
+            Site {
+                file: "crates/telemetry/src/binlog.rs",
+                extract: Extract::NumberAfter("BINLOG_VERSION: u16 = "),
+            },
+            Site {
+                file: "DESIGN.md",
+                extract: Extract::NumberAfter("binlog format version: "),
+            },
+        ],
+    },
+    Group {
+        what: "binary record fixed preamble (§13, 105 bytes)",
+        sites: &[
+            Site {
+                file: "crates/telemetry/src/binlog.rs",
+                extract: Extract::NumberAfter("RECORD_FIXED_BYTES: usize = "),
+            },
+            Site {
+                file: "DESIGN.md",
+                extract: Extract::NumberAfter("fixed preamble of "),
+            },
+        ],
+    },
+    Group {
+        what: "tracked per-record overhead (§13, 192 bytes)",
+        sites: &[
+            Site {
+                file: "crates/telemetry/src/weblog.rs",
+                extract: Extract::NumberAfter("RECORD_OVERHEAD_BYTES: u64 = "),
+            },
+            Site {
+                file: "DESIGN.md",
+                extract: Extract::NumberAfter("RECORD_OVERHEAD_BYTES ("),
+            },
+            Site {
+                file: "DESIGN.md",
+                extract: Extract::NumberAfter("bookkeeping constant of\n  "),
+            },
+        ],
+    },
 ];
 
 /// Run the constant-consistency pass over the workspace at `root`.

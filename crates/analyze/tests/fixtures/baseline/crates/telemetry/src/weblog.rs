@@ -1,0 +1,2 @@
+// Fixture: tracked per-record overhead mirrored into DESIGN.md.
+pub const RECORD_OVERHEAD_BYTES: u64 = 192;

@@ -1,0 +1,3 @@
+// Fixture: binary weblog constants mirrored into DESIGN.md.
+pub const BINLOG_VERSION: u16 = 1;
+pub const RECORD_FIXED_BYTES: usize = 105;

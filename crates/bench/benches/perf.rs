@@ -234,7 +234,7 @@ fn bench_engine(c: &mut Criterion) {
         };
         let name = format!("assess_corpus_w{workers}");
         group.bench_function(name.as_str(), |b| {
-            b.iter(|| monitor.assess_corpus(&entries, &cfg))
+            b.iter(|| monitor.pipeline().with_engine(cfg).assess(&entries))
         });
     }
     group.finish();

@@ -18,22 +18,31 @@
 //!
 //! # assess a subscriber's weblog stream with a trained model
 //! vqoe assess --model model.json --weblogs weblogs.jsonl --out assessments.jsonl
+//!
+//! # pack weblogs into the binary replay format (and back)
+//! vqoe corpus pack --weblogs weblogs.jsonl --out weblogs.vqwl
+//! vqoe corpus unpack --corpus weblogs.vqwl --out weblogs.jsonl
 //! ```
+//!
+//! `assess` sniffs its `--weblogs` input: a packed [`BinaryCorpus`]
+//! replays without serde on the hot path, a JSONL file decodes as
+//! before — the resulting report is bit-identical either way.
 
 use std::path::{Path, PathBuf};
 
 use rand::SeedableRng;
 use vqoe_core::{
     generate_sequential_traces, generate_traces, AdmissionPolicy, BudgetConfig, DatasetSpec,
-    EngineConfig, Fidelity, IngestReport, OnlineAssessor, OnlineCheckpoint, PipelineMetrics,
-    QoeMonitor, TrainingConfig,
+    EngineConfig, Fidelity, IngestPipeline, IngestReport, OnlineAssessor, OnlineCheckpoint,
+    PipelineMetrics, QoeMonitor, TrainingConfig,
 };
 use vqoe_obs::{buckets, Clock, MetricClass, Registry, ReportLevel, Reporter, StageSpan};
 use vqoe_player::SessionTrace;
 use vqoe_simnet::time::Instant;
 use vqoe_telemetry::{
     apply_chaos, capture_session, extract_sessions, generate_subscriber_flood, merge_streams,
-    read_jsonl, write_jsonl, CaptureConfig, ChaosConfig, ChaosProfile, IngestConfig, WeblogEntry,
+    read_jsonl, write_jsonl, BinaryCorpus, CaptureConfig, ChaosConfig, ChaosProfile, IngestConfig,
+    WeblogEntry,
 };
 
 /// Wall-clock [`Clock`] for CLI stage timing. The `vqoe` binary is an
@@ -79,6 +88,11 @@ fn main() {
     let Some(command) = args.first() else {
         usage("no command given");
     };
+    // `corpus` carries a sub-verb before its flags, so it parses its
+    // own tail; every other command takes flags directly.
+    if command == "corpus" {
+        return corpus(&args[1..]);
+    }
     let flags = Flags::parse(&args[1..]);
     match command.as_str() {
         "generate" => generate(&flags),
@@ -88,6 +102,68 @@ fn main() {
         "assess" => assess(&flags),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command '{other}'")),
+    }
+}
+
+/// `vqoe corpus pack|unpack` — convert between the JSONL archival
+/// format and the length-prefixed binary replay format.
+fn corpus(args: &[String]) {
+    let Some(verb) = args.first() else {
+        usage("corpus wants a verb: pack or unpack");
+    };
+    if verb != "pack" && verb != "unpack" {
+        usage(&format!("corpus verb must be pack|unpack, got '{verb}'"));
+    }
+    let flags = Flags::parse(&args[1..]);
+    let out = flags.path("out");
+    match verb.as_str() {
+        "pack" => {
+            let weblogs = flags.path("weblogs");
+            let entries: Vec<WeblogEntry> = read_jsonl(&weblogs).unwrap_or_else(die(&weblogs));
+            let corpus = BinaryCorpus::pack(&entries);
+            corpus.write_file(&out).unwrap_or_else(die(&out));
+            reporter(&flags).normal(&format!(
+                "packed {} weblog entries into {} ({} bytes, {:.2}x vs JSONL)",
+                corpus.len(),
+                out.display(),
+                corpus.as_bytes().len(),
+                jsonl_size(&entries) as f64 / corpus.as_bytes().len().max(1) as f64,
+            ));
+        }
+        "unpack" => {
+            let packed = flags.path("corpus");
+            let corpus = BinaryCorpus::read_file(&packed).unwrap_or_else(die(&packed));
+            let entries = corpus.decode_all().unwrap_or_else(die(&packed));
+            write_jsonl(&out, &entries).unwrap_or_else(die(&out));
+            reporter(&flags).normal(&format!(
+                "unpacked {} weblog entries to {}",
+                entries.len(),
+                out.display()
+            ));
+        }
+        other => usage(&format!("corpus verb must be pack|unpack, got '{other}'")),
+    }
+}
+
+/// Serialized JSONL footprint of a weblog slice (for the pack ratio
+/// status line only).
+fn jsonl_size(entries: &[WeblogEntry]) -> usize {
+    entries
+        .iter()
+        .map(|e| serde_json::to_string(e).map(|s| s.len() + 1).unwrap_or(0))
+        .sum()
+}
+
+/// Read weblogs for `assess`, sniffing the on-disk format: a packed
+/// [`BinaryCorpus`] decodes straight from its byte buffer (no serde on
+/// the replay hot path); anything else parses as JSONL.
+fn read_weblogs(path: &Path) -> Vec<WeblogEntry> {
+    let bytes = std::fs::read(path).unwrap_or_else(die(path));
+    if BinaryCorpus::sniff(&bytes) {
+        let corpus = BinaryCorpus::from_bytes(bytes).unwrap_or_else(die(path));
+        corpus.decode_all().unwrap_or_else(die(path))
+    } else {
+        read_jsonl(path).unwrap_or_else(die(path))
     }
 }
 
@@ -287,7 +363,7 @@ fn assess(flags: &Flags) {
     let read_span = StageSpan::start(&wall, &read_hist);
     let json = std::fs::read_to_string(&model_path).unwrap_or_else(die(&model_path));
     let monitor = QoeMonitor::from_json(&json).unwrap_or_else(fail("parse model JSON"));
-    let mut entries: Vec<WeblogEntry> = read_jsonl(&weblogs).unwrap_or_else(die(&weblogs));
+    let mut entries: Vec<WeblogEntry> = read_weblogs(&weblogs);
     read_span.finish();
     // Tap arrival order: all subscribers interleaved by timestamp, as
     // the operator's proxy would deliver them.
@@ -382,12 +458,13 @@ fn assess(flags: &Flags) {
                 queue_depth: flags.num("queue-depth", EngineConfig::default().queue_depth),
                 ..EngineConfig::default()
             };
-            let mut engine =
-                vqoe_core::AssessmentEngine::with_ingest(&monitor, engine_cfg, ingest_cfg);
+            let mut pipeline = IngestPipeline::new(&monitor)
+                .with_engine(engine_cfg)
+                .with_ingest(ingest_cfg);
             if let Some(m) = &metrics {
-                engine = engine.with_metrics(m.clone());
+                pipeline = pipeline.with_metrics(m.clone());
             }
-            engine.assess(&entries)
+            pipeline.assess(&entries)
         }
         None => {
             // Restore resumes the ingest clock where the checkpointed
@@ -583,7 +660,14 @@ fn usage(err: &str) -> ! {
          \x20          [--subscriber-budget BYTES] [--admission shed|refuse]\n\
          \x20          [--checkpoint PATH] [--checkpoint-at N] [--restore PATH]\n\
          \x20          [--metrics PATH|-] [--quiet]\n\
+           corpus pack   --weblogs FILE --out FILE\n\
+           corpus unpack --corpus FILE --out FILE\n\
          \n\
+         corpus pack converts a JSONL weblog file into the length-\n\
+         prefixed binary replay format (magic VQWL); corpus unpack\n\
+         converts it back, bit-identically. assess sniffs --weblogs and\n\
+         accepts either format — packed corpora replay without serde on\n\
+         the hot path.\n\
          train --workers fans tree/fold/candidate fitting out across\n\
          threads (0 = auto); the trained model is byte-identical at any\n\
          worker count.\n\

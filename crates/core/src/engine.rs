@@ -37,7 +37,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Condvar, Mutex as StdMutex};
 
-use vqoe_features::SessionObs;
+use vqoe_features::{SessionObs, SessionView};
 use vqoe_obs::{SimClock, StageSpan};
 use vqoe_telemetry::{
     AnomalyKindCounts, AnomalyLog, IngestAnomaly, IngestConfig, ReassembledSession,
@@ -47,6 +47,7 @@ use vqoe_telemetry::{
 use crate::metrics::PipelineMetrics;
 use crate::monitor::{QoeMonitor, SessionAssessment};
 use crate::online::{IngestReport, ShedLog};
+use crate::subscribe::SubscriptionSet;
 
 /// Knobs of the parallel engine. All defaults are safe for production;
 /// the output is bit-identical for every combination.
@@ -266,6 +267,11 @@ impl<'a> AssessmentEngine<'a> {
     /// bit-identical to that sequential run, including the health
     /// counters and the anomaly log.
     pub fn assess(&self, entries: &[WeblogEntry]) -> IngestReport {
+        // One subscription set for the whole pass, shared by reference
+        // across every worker: the detectors are registered once, and
+        // each reassembled session is fanned out to them as one
+        // immutable view.
+        let subs = SubscriptionSet::standard(self.monitor);
         let shards = self.config.shards.max(1);
         // Route each arrival to its shard; per-shard index lists keep
         // the global arrival order (indices ascend).
@@ -294,7 +300,7 @@ impl<'a> AssessmentEngine<'a> {
                                 // regime).
                                 std::thread::sleep(std::time::Duration::from_micros(pacing));
                             }
-                            let out = self.process_shard(entries, &job.entry_indices);
+                            let out = self.process_shard(&subs, entries, &job.entry_indices);
                             local.push((job.shard, out));
                         }
                         local
@@ -340,7 +346,12 @@ impl<'a> AssessmentEngine<'a> {
     /// Run one shard: its subscribers one at a time, each through a
     /// fresh `RobustReassembler`, recording emission keys and tagging
     /// kept anomalies with their global entry index.
-    fn process_shard(&self, entries: &[WeblogEntry], indices: &[u32]) -> ShardOutput {
+    fn process_shard(
+        &self,
+        subs: &SubscriptionSet<'_>,
+        entries: &[WeblogEntry],
+        indices: &[u32],
+    ) -> ShardOutput {
         // Group the shard's arrivals per subscriber, preserving arrival
         // order inside each group. BTreeMap: worker code must never
         // iterate a HashMap (vqoe-analyze `hashmap-iter` gate).
@@ -387,12 +398,12 @@ impl<'a> AssessmentEngine<'a> {
                 prev_kept = log.kept().len();
                 for (k, s) in sessions.iter().enumerate() {
                     out.emissions
-                        .push(((0, g as u64, k as u32), self.assess_one(s)));
+                        .push(((0, g as u64, k as u32), self.assess_one(subs, s)));
                 }
             }
             for (k, s) in machine.finish().iter().enumerate() {
                 out.emissions
-                    .push(((1, subscriber, k as u32), self.assess_one(s)));
+                    .push(((1, subscriber, k as u32), self.assess_one(subs, s)));
             }
             out.anomaly_total += log.total();
             out.kinds.absorb(&log.kinds());
@@ -462,11 +473,13 @@ impl<'a> AssessmentEngine<'a> {
         }
     }
 
-    fn assess_one(&self, session: &ReassembledSession) -> SessionAssessment {
+    fn assess_one(
+        &self,
+        subs: &SubscriptionSet<'_>,
+        session: &ReassembledSession,
+    ) -> SessionAssessment {
         let obs = SessionObs::from_reassembled(session);
-        let assessment = self
-            .monitor
-            .assess_session(&obs, session.start, session.end);
+        let assessment = subs.assess_session(SessionView::over(&obs, session));
         if let Some(m) = &self.metrics {
             m.observe_session(session, &assessment);
         }

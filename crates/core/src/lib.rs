@@ -32,10 +32,11 @@
 //! // (cleartext weblogs with URI ground truth)...
 //! let monitor = QoeMonitor::train(&TrainingConfig::default());
 //!
-//! // ...then assess encrypted traffic: reassemble one subscriber's
-//! // stream into sessions and classify each one.
+//! // ...then assess encrypted traffic through the one front door: a
+//! // single ingest pass reassembles sessions and fans each session's
+//! // view out to the subscribed detectors.
 //! # let entries: Vec<vqoe_telemetry::WeblogEntry> = vec![];
-//! for assessment in monitor.assess_subscriber(&entries) {
+//! for assessment in monitor.pipeline().assess_subscriber(&entries) {
 //!     println!(
 //!         "session at {}: stalls={:?} quality={:?} switching={}",
 //!         assessment.start, assessment.stall, assessment.representation,
@@ -49,8 +50,9 @@
 //! [`switch_pipeline`] (the three detectors' training/evaluation),
 //! [`detector`] (the unifying [`Detector`] trait), [`encrypted`] (the
 //! §5 encrypted-traffic evaluation), [`monitor`] (the deployable
-//! operator API), [`engine`] (the sharded parallel assessment engine),
-//! [`online`] (the streaming path).
+//! operator API), [`subscribe`] (the typed subscription ingest API:
+//! one pass, many detectors), [`engine`] (the sharded parallel
+//! assessment engine), [`online`] (the streaming path).
 //!
 //! Downstream code that just wants "the monitor and friends" can
 //! `use vqoe_core::prelude::*;`.
@@ -69,6 +71,7 @@ pub mod online;
 pub mod qoe_score;
 pub mod spec;
 pub mod stall_pipeline;
+pub mod subscribe;
 pub mod switch_pipeline;
 pub mod weblog_training;
 
@@ -88,6 +91,10 @@ pub use online::{
 pub use qoe_score::QoeScore;
 pub use spec::{DatasetSpec, DeliveryMix, ScenarioMix};
 pub use stall_pipeline::{StallModel, StallTrainingReport};
+pub use subscribe::{
+    IngestPipeline, RepresentationSubscription, Signal, StallSubscription, Subscription,
+    SubscriptionSet, SwitchSubscription,
+};
 pub use switch_pipeline::{SwitchCalibrationReport, SwitchEvalReport, SwitchModel};
 pub use vqoe_ml::TrainConfig;
 pub use weblog_training::{
@@ -109,8 +116,9 @@ pub mod prelude {
         RestoreError, ShedLog, ShedReason,
     };
     pub use crate::qoe_score::QoeScore;
+    pub use crate::subscribe::{IngestPipeline, Signal, Subscription, SubscriptionSet};
     pub use crate::{RepresentationModel, StallModel, SwitchModel};
-    pub use vqoe_features::{RqClass, SessionObs, StallClass};
+    pub use vqoe_features::{RqClass, SessionObs, SessionView, StallClass};
     pub use vqoe_ml::TrainConfig;
-    pub use vqoe_telemetry::{IngestConfig, StreamHealth, WeblogEntry};
+    pub use vqoe_telemetry::{BinaryCorpus, BinlogError, IngestConfig, StreamHealth, WeblogEntry};
 }

@@ -12,18 +12,19 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use vqoe_changedet::SwitchScoreConfig;
-use vqoe_features::{RqClass, SessionObs, StallClass};
+use vqoe_features::{RqClass, SessionObs, SessionView, StallClass};
 use vqoe_ml::{ForestConfig, TrainConfig};
 use vqoe_simnet::time::Instant;
-use vqoe_telemetry::{reassemble_subscriber, ReassemblyConfig, WeblogEntry};
+use vqoe_telemetry::{ReassemblyConfig, WeblogEntry};
 
 use crate::avgrep_pipeline::{train_representation_detector_with, RepresentationModel};
-use crate::engine::{AssessmentEngine, EngineConfig};
+use crate::engine::EngineConfig;
 use crate::generate::generate_traces;
 use crate::metrics::PipelineMetrics;
 use crate::online::IngestReport;
 use crate::spec::{DatasetSpec, ScenarioMix};
 use crate::stall_pipeline::{train_stall_detector_with, StallModel};
+use crate::subscribe::{IngestPipeline, SubscriptionSet};
 use crate::switch_pipeline::SwitchModel;
 
 /// End-to-end training configuration.
@@ -324,53 +325,53 @@ impl QoeMonitor {
         }
     }
 
-    /// Assess one already-extracted session.
+    /// The paper's three detectors subscribed against this monitor's
+    /// frozen models — the standard [`SubscriptionSet`] every entry
+    /// point fans sessions out to.
+    pub fn subscriptions(&self) -> SubscriptionSet<'_> {
+        SubscriptionSet::standard(self)
+    }
+
+    /// The one front door for assessing traffic with this monitor: an
+    /// [`IngestPipeline`] with default engine and hardening parameters
+    /// (compose `with_engine` / `with_ingest` / `with_metrics` on it).
+    pub fn pipeline(&self) -> IngestPipeline<'_> {
+        IngestPipeline::new(self)
+    }
+
+    /// Assess one already-extracted session: fan its shared view out
+    /// to the standard subscriptions and fold the signals.
     pub fn assess_session(
         &self,
         obs: &SessionObs,
         start: Instant,
         end: Instant,
     ) -> SessionAssessment {
-        let score = self.switch_model.score(obs);
-        let stall = self.stall_model.predict(obs);
-        let representation = self.representation_model.predict(obs);
-        let has_quality_switches = score > self.switch_model.threshold();
-        SessionAssessment {
-            start,
-            end,
-            chunk_count: obs.len(),
-            stall,
-            representation,
-            has_quality_switches,
-            switch_score: score,
-            qoe: crate::qoe_score::QoeScore::from_assessment(
-                stall,
-                representation,
-                has_quality_switches,
-            ),
-            partial: false,
-            fidelity: Fidelity::Full,
-        }
+        self.subscriptions()
+            .assess_session(SessionView::new(obs, start, end))
     }
 
     /// Assess a subscriber's raw (possibly encrypted) weblog stream:
     /// reassemble sessions, then classify each.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `monitor.pipeline().assess_subscriber(entries)` — one ingest pass, \
+                subscription fan-out"
+    )]
     pub fn assess_subscriber(&self, entries: &[WeblogEntry]) -> Vec<SessionAssessment> {
-        reassemble_subscriber(entries, &self.reassembly)
-            .iter()
-            .map(|session| {
-                let obs = SessionObs::from_reassembled(session);
-                self.assess_session(&obs, session.start, session.end)
-            })
-            .collect()
+        self.pipeline().assess_subscriber(entries)
     }
 
     /// Assess a whole tap capture (any mix of subscribers, in arrival
     /// order) on the sharded parallel engine. Bit-identical to feeding
     /// the capture through an [`OnlineAssessor`](crate::OnlineAssessor)
     /// entry by entry, at any worker count — see [`crate::engine`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `monitor.pipeline().with_engine(config).assess(entries)`"
+    )]
     pub fn assess_corpus(&self, entries: &[WeblogEntry], config: &EngineConfig) -> IngestReport {
-        AssessmentEngine::new(self, *config).assess(entries)
+        self.pipeline().with_engine(*config).assess(entries)
     }
 
     /// [`QoeMonitor::assess_corpus`] with a [`PipelineMetrics`] bundle
@@ -378,13 +379,18 @@ impl QoeMonitor {
     /// `metrics` accumulates the run's ingest/engine/inference metrics.
     ///
     /// [`PipelineMetrics`]: crate::metrics::PipelineMetrics
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `monitor.pipeline().with_engine(config).with_metrics(metrics).assess(entries)`"
+    )]
     pub fn assess_corpus_with_metrics(
         &self,
         entries: &[WeblogEntry],
         config: &EngineConfig,
         metrics: crate::metrics::PipelineMetrics,
     ) -> IngestReport {
-        AssessmentEngine::new(self, *config)
+        self.pipeline()
+            .with_engine(*config)
             .with_metrics(metrics)
             .assess(entries)
     }
@@ -426,7 +432,7 @@ mod tests {
         let mut config = EncryptedEvalConfig::paper_default(52);
         config.spec.n_sessions = 12;
         let world = EncryptedWorld::build(&config).expect("simulated world builds");
-        let assessments = monitor.assess_subscriber(&world.entries);
+        let assessments = monitor.pipeline().assess_subscriber(&world.entries);
         assert!(!assessments.is_empty());
         assert!(assessments.len() <= 13);
         for a in &assessments {
@@ -469,7 +475,7 @@ mod tests {
         let mut config = EncryptedEvalConfig::paper_default(53);
         config.spec.n_sessions = 10;
         let world = EncryptedWorld::build(&config).expect("simulated world builds");
-        for a in monitor.assess_subscriber(&world.entries) {
+        for a in monitor.pipeline().assess_subscriber(&world.entries) {
             assert_eq!(
                 a.has_quality_switches,
                 a.switch_score > monitor.switch_model.threshold()

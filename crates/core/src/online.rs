@@ -34,7 +34,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
-use vqoe_features::SessionObs;
+use vqoe_features::{SessionObs, SessionView};
 use vqoe_simnet::time::Instant;
 use vqoe_telemetry::{
     validate_entry, AnomalyLog, IngestAnomaly, IngestConfig, ReassembledSession, ReassemblerState,
@@ -655,7 +655,8 @@ impl OnlineAssessor {
         let obs = SessionObs::from_reassembled(session);
         let a = self
             .monitor
-            .assess_session(&obs, session.start, session.end)
+            .subscriptions()
+            .assess_session(SessionView::over(&obs, session))
             .with_fidelity(fidelity);
         if let Some(m) = &self.metrics {
             m.observe_session(session, &a);
@@ -895,7 +896,7 @@ mod tests {
         let monitor = trained();
         let world = world(10, 72);
         // Batch path.
-        let batch = monitor.assess_subscriber(&world.entries);
+        let batch = monitor.pipeline().assess_subscriber(&world.entries);
         // Streaming path: one entry at a time, in timestamp order.
         let mut online = OnlineAssessor::new(monitor);
         let mut streamed = Vec::new();

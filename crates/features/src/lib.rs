@@ -23,6 +23,9 @@
 //!   severe} stalling (threshold 0.1, after Krishnan et al.), mean
 //!   resolution → {LD, SD, HD} (360/480 lines), and switch
 //!   frequency/amplitude → variation classes (§4.3).
+//! * [`view`] — the per-session fan-out payload ([`SessionView`]): one
+//!   shared, borrowed [`SessionObs`] plus the recovered boundaries,
+//!   delivered identically to every subscribed detector.
 //! * [`matrix`] — assembly of labelled [`vqoe_ml::Dataset`]s from
 //!   session collections.
 //! * [`obfuscation`] — provider-side shape countermeasures (padding,
@@ -55,9 +58,11 @@ pub mod obfuscation;
 pub mod obs;
 pub mod representation;
 pub mod stall;
+pub mod view;
 
 pub use labels::{rq_label, stall_label, variation_label, RqClass, StallClass, VariationClass};
 pub use matrix::{build_representation_dataset, build_stall_dataset};
 pub use obs::{ChunkObs, SessionObs};
 pub use representation::{representation_feature_names, representation_features};
 pub use stall::{stall_feature_names, stall_features};
+pub use view::SessionView;

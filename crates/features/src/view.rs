@@ -1,0 +1,69 @@
+//! The shared per-session view the subscription fan-out delivers.
+//!
+//! The one-pass ingest model (see `vqoe_core::subscribe`) parses each
+//! weblog record exactly once, reassembles sessions once, builds one
+//! [`SessionObs`] per session — and then fans that *same* view out to
+//! every registered detector. [`SessionView`] is the fan-out payload: a
+//! borrowed observation plus the recovered session boundaries, cheap to
+//! copy and impossible to mutate, so no subscriber can perturb what the
+//! next one sees.
+
+use vqoe_simnet::time::Instant;
+use vqoe_telemetry::ReassembledSession;
+
+use crate::obs::SessionObs;
+
+/// One reassembled session as every detector sees it: the shared
+/// network-visible observation (built exactly once) plus the recovered
+/// session boundaries. `Copy`: handing it to N subscribers costs two
+/// pointers and two timestamps each, never a re-parse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionView<'a> {
+    /// The network-visible chunk sequence, borrowed from the single
+    /// shared extraction.
+    pub obs: &'a SessionObs,
+    /// Recovered session start.
+    pub start: Instant,
+    /// Recovered session end.
+    pub end: Instant,
+}
+
+impl<'a> SessionView<'a> {
+    /// Wrap an already-extracted observation with its boundaries.
+    pub fn new(obs: &'a SessionObs, start: Instant, end: Instant) -> Self {
+        SessionView { obs, start, end }
+    }
+
+    /// The view over a reassembled session and the observation built
+    /// from it (the caller owns the obs; the view borrows it).
+    pub fn over(obs: &'a SessionObs, session: &ReassembledSession) -> Self {
+        SessionView {
+            obs,
+            start: session.start,
+            end: session.end,
+        }
+    }
+
+    /// Number of media chunks observed.
+    pub fn chunk_count(&self) -> usize {
+        self.obs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_is_a_cheap_copy_of_the_shared_obs() {
+        let obs = SessionObs::default();
+        let view = SessionView::new(&obs, Instant::from_secs(1), Instant::from_secs(2));
+        let copied = view;
+        assert_eq!(copied, view);
+        assert_eq!(copied.chunk_count(), 0);
+        assert!(
+            std::ptr::eq(copied.obs, view.obs),
+            "no obs re-build on copy"
+        );
+    }
+}

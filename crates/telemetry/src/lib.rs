@@ -38,12 +38,17 @@
 //! * [`dataset`] — joins reassembled sessions back to ground truth (by
 //!   time overlap and chunk counts, as the paper joins its instrumented-
 //!   handset logs to proxy records) and persists datasets as JSONL.
+//! * [`binlog`] — the compact length-prefixed binary weblog format
+//!   ([`binlog::BinaryCorpus`]): versioned header, zero-copy record
+//!   iteration, typed decode errors. The replay hot path skips serde
+//!   entirely; JSONL stays the archival interchange format.
 //!
 //! [`SessionTrace`]: vqoe_player::SessionTrace
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binlog;
 pub mod capture;
 pub mod chaos;
 pub mod dataset;
@@ -54,6 +59,7 @@ pub mod reassembly;
 pub mod uri;
 pub mod weblog;
 
+pub use binlog::{BinaryCorpus, BinlogError, RecordRef, BINLOG_MAGIC, BINLOG_VERSION};
 pub use capture::{capture_session, CaptureConfig};
 pub use chaos::{
     apply_chaos, generate_burst_storm, generate_pathological_session, generate_subscriber_flood,

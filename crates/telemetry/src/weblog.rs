@@ -70,14 +70,23 @@ impl WeblogEntry {
         self.timestamp + self.duration
     }
 
+    /// The variable-length byte count of this record: the host plus the
+    /// URI (when present). This is the *single* source of truth for
+    /// variable-size accounting — both [`WeblogEntry::tracked_cost`]
+    /// (memory budgets) and the binary weblog encoder
+    /// ([`crate::binlog`]) add their own fixed per-record constant on
+    /// top of exactly this value, so the two accountings can never
+    /// drift apart.
+    pub fn variable_cost(&self) -> u64 {
+        self.host.len() as u64 + self.uri.as_ref().map_or(0, |u| u.len() as u64)
+    }
+
     /// Deterministic memory cost charged while this record is buffered:
-    /// [`RECORD_OVERHEAD_BYTES`] plus the variable-length fields. This
-    /// is the record-granularity unit all ingest memory budgets are
-    /// accounted in.
+    /// [`RECORD_OVERHEAD_BYTES`] plus [`WeblogEntry::variable_cost`].
+    /// This is the record-granularity unit all ingest memory budgets
+    /// are accounted in.
     pub fn tracked_cost(&self) -> u64 {
-        RECORD_OVERHEAD_BYTES
-            + self.host.len() as u64
-            + self.uri.as_ref().map_or(0, |u| u.len() as u64)
+        RECORD_OVERHEAD_BYTES + self.variable_cost()
     }
 
     /// Is this transaction addressed to the video service (any of its

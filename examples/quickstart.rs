@@ -39,12 +39,13 @@ fn main() {
         world.entries.len()
     );
 
-    // 3. Reassemble sessions and assess each one.
+    // 3. One ingest pass: reassemble sessions once and fan each
+    //    session's view out to the subscribed detectors.
     println!(
         "{:<10} {:>7} {:>14} {:>8} {:>10} {:>6}",
         "start", "chunks", "stalling", "quality", "switching", "MOS"
     );
-    for a in monitor.assess_subscriber(&world.entries) {
+    for a in monitor.pipeline().assess_subscriber(&world.entries) {
         println!(
             "{:<10} {:>7} {:>14} {:>8} {:>10} {:>6.1}",
             a.start.to_string(),

@@ -15,6 +15,8 @@
 #   BENCH_pr5.json               machine-readable record (speedup_4v1)
 #   results/overload-sweep.txt   overload/shedding/restore report
 #   BENCH_pr7.json               machine-readable record (shed_rate, tiers)
+#   results/ingest-bench.txt     binary vs JSONL replay report
+#   BENCH_pr8.json               machine-readable record (replay_speedup)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,6 +56,13 @@ echo "==> repro overload-sweep (quick mode)"
 
 echo "==> BENCH_pr7.json"
 cat BENCH_pr7.json
+
+echo "==> repro ingest-bench (quick mode)"
+./target/release/repro ingest-bench --smoke \
+  --bench-json BENCH_pr8.json --out results
+
+echo "==> BENCH_pr8.json"
+cat BENCH_pr8.json
 
 if [[ "$FULL" == "1" ]]; then
   echo "==> cargo bench -p vqoe-bench (Criterion)"

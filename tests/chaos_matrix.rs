@@ -173,7 +173,7 @@ fn zero_faults_are_bit_identical_to_the_batch_pipeline() {
     let mut cfg = EncryptedEvalConfig::paper_default(500);
     cfg.spec.n_sessions = 8;
     let world = EncryptedWorld::build(&cfg).expect("simulated world builds");
-    let batch = monitor().assess_subscriber(&world.entries);
+    let batch = monitor().pipeline().assess_subscriber(&world.entries);
 
     let (tapped, stats) = apply_chaos(&world.entries, &ChaosConfig::clean(), 9);
     assert_eq!(tapped, world.entries, "clean tap must not alter the stream");
@@ -209,7 +209,7 @@ fn zero_faults_multi_subscriber_matches_batch_per_subscriber() {
             .filter(|e| e.subscriber_id == s)
             .cloned()
             .collect();
-        batch.extend(monitor().assess_subscriber(&own));
+        batch.extend(monitor().pipeline().assess_subscriber(&own));
     }
     let (mut streamed, health) = run_capped(&entries, 65_536, "multi-clean");
     // Emission order differs (interleaved vs per-subscriber), so

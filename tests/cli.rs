@@ -179,3 +179,115 @@ fn help_exits_zero() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("commands:"));
 }
+
+#[test]
+fn corpus_pack_unpack_round_trips_and_assess_sniffs_both() {
+    let dir = workdir("corpus");
+    run(
+        &dir,
+        &[
+            "generate",
+            "--kind",
+            "encrypted",
+            "--sessions",
+            "4",
+            "--seed",
+            "21",
+            "--out",
+            "traces.jsonl",
+        ],
+    );
+    run(
+        &dir,
+        &[
+            "capture",
+            "--traces",
+            "traces.jsonl",
+            "--encrypted",
+            "--seed",
+            "3",
+            "--out",
+            "weblogs.jsonl",
+        ],
+    );
+
+    // pack → unpack must reproduce the JSONL byte for byte.
+    let err = run(
+        &dir,
+        &[
+            "corpus",
+            "pack",
+            "--weblogs",
+            "weblogs.jsonl",
+            "--out",
+            "weblogs.vqwl",
+        ],
+    );
+    assert!(err.contains("packed"), "{err}");
+    run(
+        &dir,
+        &[
+            "corpus",
+            "unpack",
+            "--corpus",
+            "weblogs.vqwl",
+            "--out",
+            "roundtrip.jsonl",
+        ],
+    );
+    assert_eq!(
+        std::fs::read(dir.join("weblogs.jsonl")).unwrap(),
+        std::fs::read(dir.join("roundtrip.jsonl")).unwrap(),
+        "corpus pack/unpack must be lossless at the byte level"
+    );
+
+    // assess sniffs the format: both encodings yield identical output.
+    run(
+        &dir,
+        &[
+            "train",
+            "--cleartext",
+            "60",
+            "--adaptive",
+            "40",
+            "--seed",
+            "5",
+            "--out",
+            "model.json",
+        ],
+    );
+    for (weblogs, out) in [
+        ("weblogs.jsonl", "out_json.jsonl"),
+        ("weblogs.vqwl", "out_bin.jsonl"),
+    ] {
+        run(
+            &dir,
+            &[
+                "assess",
+                "--model",
+                "model.json",
+                "--weblogs",
+                weblogs,
+                "--out",
+                out,
+                "--workers",
+                "2",
+            ],
+        );
+    }
+    assert_eq!(
+        std::fs::read(dir.join("out_json.jsonl")).unwrap(),
+        std::fs::read(dir.join("out_bin.jsonl")).unwrap(),
+        "assessments must not depend on the weblog encoding"
+    );
+
+    // A bad verb fails cleanly.
+    let out = vqoe()
+        .current_dir(&dir)
+        .args(["corpus", "shrink"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("pack|unpack"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,7 +24,7 @@ fn whole_pipeline_is_deterministic() {
     let run = || {
         let monitor = QoeMonitor::train(&small_training());
         let world = small_world(6, 77);
-        monitor.assess_subscriber(&world.entries)
+        monitor.pipeline().assess_subscriber(&world.entries)
     };
     assert_eq!(run(), run());
 }
@@ -64,8 +64,8 @@ fn monitor_survives_a_serde_roundtrip_and_still_agrees() {
     let restored = QoeMonitor::from_json(&json).expect("deserialize");
     let world = small_world(10, 99);
     assert_eq!(
-        monitor.assess_subscriber(&world.entries),
-        restored.assess_subscriber(&world.entries)
+        monitor.pipeline().assess_subscriber(&world.entries),
+        restored.pipeline().assess_subscriber(&world.entries)
     );
 }
 
@@ -73,7 +73,7 @@ fn monitor_survives_a_serde_roundtrip_and_still_agrees() {
 fn assessments_cover_reassembled_sessions() {
     let monitor = QoeMonitor::train(&small_training());
     let world = small_world(12, 55);
-    let assessments = monitor.assess_subscriber(&world.entries);
+    let assessments = monitor.pipeline().assess_subscriber(&world.entries);
     assert_eq!(assessments.len(), world.sessions.len());
     for (a, s) in assessments.iter().zip(world.sessions.iter()) {
         assert_eq!(a.start, s.start);

@@ -146,9 +146,19 @@ fn assess_corpus_is_the_engine() {
         shards: 8,
         ..EngineConfig::default()
     };
+    // The deprecated shim must stay bit-identical to the engine (and
+    // hence to the IngestPipeline front door it now delegates to).
+    #[allow(deprecated)]
+    let via_shim = monitor().assess_corpus(&entries, &cfg);
     assert_eq!(
-        monitor().assess_corpus(&entries, &cfg),
+        via_shim,
         engine_report(IngestConfig::default(), cfg, &entries),
+    );
+    assert_eq!(
+        via_shim,
+        IngestPipeline::new(monitor())
+            .with_engine(cfg)
+            .assess(&entries),
     );
 }
 
