@@ -210,6 +210,32 @@ const GROUPS: &[Group] = &[
             },
         ],
     },
+    Group {
+        what: "chrome trace-event format version (§14, 1)",
+        sites: &[
+            Site {
+                file: "crates/obs/src/trace.rs",
+                extract: Extract::NumberAfter("TRACE_FORMAT_VERSION: u32 = "),
+            },
+            Site {
+                file: "DESIGN.md",
+                extract: Extract::NumberAfter("trace-event format version: "),
+            },
+        ],
+    },
+    Group {
+        what: "histogram exemplars kept per bucket (§14, 1)",
+        sites: &[
+            Site {
+                file: "crates/obs/src/registry.rs",
+                extract: Extract::NumberAfter("EXEMPLARS_PER_BUCKET: usize = "),
+            },
+            Site {
+                file: "DESIGN.md",
+                extract: Extract::NumberAfter("exemplar-per-bucket cap: "),
+            },
+        ],
+    },
 ];
 
 /// Run the constant-consistency pass over the workspace at `root`.
@@ -434,6 +460,26 @@ mod tests {
         let (items, _) =
             slash_list("x (3 classes: LD / SD / HD by mean y", "classes: ", " by").expect("parses");
         assert_eq!(items, vec!["LD", "SD", "HD"]);
+    }
+
+    #[test]
+    fn trace_format_anchors_resolve_on_fixture_text() {
+        let src = "pub const TRACE_FORMAT_VERSION: u32 = 1;\n";
+        let doc = "(Perfetto; trace-event format version: 1, stamped in otherData)";
+        let from_src = extract(src, &Extract::NumberAfter("TRACE_FORMAT_VERSION: u32 = "));
+        let from_doc = extract(doc, &Extract::NumberAfter("trace-event format version: "));
+        assert_eq!(from_src.map(|x| x.0), Some("1".to_string()));
+        assert_eq!(from_doc.map(|x| x.0), Some("1".to_string()));
+    }
+
+    #[test]
+    fn exemplar_cap_anchors_resolve_on_fixture_text() {
+        let src = "pub const EXEMPLARS_PER_BUCKET: usize = 1;\n";
+        let doc = "it produced (exemplar-per-bucket cap: 1,\n`EXEMPLARS_PER_BUCKET`).";
+        let from_src = extract(src, &Extract::NumberAfter("EXEMPLARS_PER_BUCKET: usize = "));
+        let from_doc = extract(doc, &Extract::NumberAfter("exemplar-per-bucket cap: "));
+        assert_eq!(from_src.map(|x| x.0), Some("1".to_string()));
+        assert_eq!(from_doc.map(|x| x.0), Some("1".to_string()));
     }
 
     #[test]

@@ -1,0 +1,2 @@
+// Fixture: trace format version site.
+pub const TRACE_FORMAT_VERSION: u32 = 1;

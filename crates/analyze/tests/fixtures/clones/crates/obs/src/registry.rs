@@ -1,0 +1,2 @@
+// Fixture: exemplar cap site.
+pub const EXEMPLARS_PER_BUCKET: usize = 1;

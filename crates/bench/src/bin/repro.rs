@@ -12,8 +12,9 @@
 use std::io::Write;
 use vqoe_bench::experiments::{
     abr_comparison, engine_scaling_with, ingest_bench_with, obs_overhead_with, overload_sweep_with,
-    run_experiment, train_scaling_with, EngineScalingConfig, IngestBenchConfig, ObsOverheadConfig,
-    OverloadSweepConfig, TrainScalingConfig, EXPERIMENTS,
+    run_experiment, trace_overhead_with, train_scaling_with, EngineScalingConfig,
+    IngestBenchConfig, ObsOverheadConfig, OverloadSweepConfig, TraceOverheadConfig,
+    TrainScalingConfig, EXPERIMENTS,
 };
 use vqoe_bench::{ReproContext, ReproScale};
 
@@ -121,6 +122,12 @@ fn main() {
             txt
         } else if id == "ingest-bench" {
             let (txt, json) = ingest_bench_with(&ctx, IngestBenchConfig::quick());
+            if let Some(path) = &bench_json {
+                std::fs::write(path, json).expect("write --bench-json file");
+            }
+            txt
+        } else if id == "trace-overhead" {
+            let (txt, json) = trace_overhead_with(&ctx, TraceOverheadConfig::quick());
             if let Some(path) = &bench_json {
                 std::fs::write(path, json).expect("write --bench-json file");
             }

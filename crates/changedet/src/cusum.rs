@@ -97,6 +97,21 @@ pub fn alarms(series: &[f64], config: CusumConfig, h_sigmas: f64) -> Vec<usize> 
         .collect()
 }
 
+/// First index at which the classic CUSUM alarm rule fires over
+/// `series` under the default [`CusumConfig`], with the threshold in σ
+/// units — or `None` when the chart never crosses it (including the
+/// degenerate zero-variance cases [`alarms`] refuses to alarm on).
+///
+/// This is the drift backend the observability layer's alert engine
+/// injects (a plain `fn` pointer, keeping `vqoe-obs` dependency-free):
+/// shed-rate / anomaly-rate / queue-depth series go in, the first
+/// drifting window index comes out.
+pub fn drift_alarm(series: &[f64], h_sigmas: f64) -> Option<usize> {
+    alarms(series, CusumConfig::default(), h_sigmas)
+        .first()
+        .copied()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +203,22 @@ mod tests {
             allowance_sigmas: 0.5,
         };
         assert!(alarms(&[5.0; 20], anchored, 2.0).is_empty());
+    }
+
+    #[test]
+    fn drift_alarm_returns_the_first_alarm_index() {
+        // A sustained level shift against the sample mean drifts; a
+        // flat series never does.
+        let series: Vec<f64> = (0..60).map(|i| if i < 30 { 0.0 } else { 8.0 }).collect();
+        let first = drift_alarm(&series, 2.0).expect("shifted series drifts");
+        assert_eq!(
+            Some(first),
+            alarms(&series, CusumConfig::default(), 2.0)
+                .first()
+                .copied()
+        );
+        assert_eq!(drift_alarm(&[1.0; 40], 2.0), None);
+        assert_eq!(drift_alarm(&[], 2.0), None);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 pub mod cusum;
 pub mod detector;
 
-pub use cusum::{cusum_series, CusumConfig};
+pub use cusum::{cusum_series, drift_alarm, CusumConfig};
 pub use detector::{
     calibrate_threshold, delta_product_series, session_score, SwitchDetector, SwitchScoreConfig,
 };

@@ -32,11 +32,15 @@ use std::path::{Path, PathBuf};
 
 use rand::SeedableRng;
 use vqoe_core::{
-    generate_sequential_traces, generate_traces, AdmissionPolicy, BudgetConfig, DatasetSpec,
-    EngineConfig, Fidelity, IngestPipeline, IngestReport, OnlineAssessor, OnlineCheckpoint,
-    PipelineMetrics, QoeMonitor, TrainingConfig,
+    generate_sequential_traces, generate_traces, standard_alert_engine, AdmissionPolicy,
+    BudgetConfig, DatasetSpec, EngineConfig, Fidelity, IngestPipeline, IngestReport,
+    OnlineAssessor, OnlineCheckpoint, PipelineMetrics, QoeMonitor, TrainingConfig,
+    ALERT_WINDOW_RECORDS,
 };
-use vqoe_obs::{buckets, Clock, MetricClass, Registry, ReportLevel, Reporter, StageSpan};
+use vqoe_obs::{
+    buckets, parse_rules, AlertSeverity, Clock, MetricClass, Registry, ReportLevel, Reporter,
+    StageSpan, TraceConfig,
+};
 use vqoe_player::SessionTrace;
 use vqoe_simnet::time::Instant;
 use vqoe_telemetry::{
@@ -100,6 +104,7 @@ fn main() {
         "extract-gt" => extract_gt(&flags),
         "train" => train(&flags),
         "assess" => assess(&flags),
+        "metrics-doc" => metrics_doc(&flags),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command '{other}'")),
     }
@@ -342,10 +347,21 @@ fn assess(flags: &Flags) {
     // instrumentation; the wall clock feeds Runtime-class CLI stage
     // histograms, which the stable JSON snapshot excludes by design.
     let metrics_path = flags.get("metrics").map(str::to_string);
+    // `--exemplars` links the max sample of every chunk-size and
+    // session-duration bucket back to the session (id + tick) that
+    // produced it, in both exposition formats.
+    let exemplars = flags.flag("exemplars");
+    if exemplars && metrics_path.is_none() {
+        usage("--exemplars annotates the metrics output; add --metrics PATH|-");
+    }
     let registry = Registry::new();
-    let metrics = metrics_path
-        .as_deref()
-        .map(|_| PipelineMetrics::register(&registry));
+    let metrics = metrics_path.as_deref().map(|_| {
+        if exemplars {
+            PipelineMetrics::register_with_exemplars(&registry)
+        } else {
+            PipelineMetrics::register(&registry)
+        }
+    });
     let wall = WallClock::new();
     let stage_hist = |stage: &str| {
         registry.histogram(
@@ -433,17 +449,31 @@ fn assess(flags: &Flags) {
     let checkpoint_path = flags.get("checkpoint").map(str::to_string);
     let checkpoint_at = flags.num("checkpoint-at", 0u64);
     let restore_path = flags.get("restore").map(str::to_string);
+    let alerts_path = flags.get("alerts").map(str::to_string);
+    let trace_path = flags.get("trace").map(str::to_string);
     if flags.get("workers").is_some()
         && (!budget.is_unlimited()
             || flags.get("admission").is_some()
             || checkpoint_path.is_some()
-            || restore_path.is_some())
+            || restore_path.is_some()
+            || alerts_path.is_some())
     {
         usage(
-            "--memory-budget/--subscriber-budget/--admission/--checkpoint/--restore \
+            "--memory-budget/--subscriber-budget/--admission/--checkpoint/--restore/--alerts \
              need the streaming assessor; drop --workers",
         );
     }
+    // Tracing records the engine's span structure (ingest through
+    // reduce), so it needs the engine.
+    if trace_path.is_some() && flags.get("workers").is_none() {
+        usage("--trace records the parallel engine's spans; add --workers N (0 = auto)");
+    }
+    // Alert rules parse before the (potentially long) assessment runs,
+    // so a typo fails fast.
+    let alert_rules = alerts_path.as_deref().map(|p| {
+        let text = std::fs::read_to_string(p).unwrap_or_else(die(Path::new(p)));
+        parse_rules(&text).unwrap_or_else(fail("parse alert rules"))
+    });
     // `--workers N` routes through the sharded parallel engine (see
     // `vqoe_core::engine`); without it, the streaming assessor runs the
     // tap one entry at a time. Output is bit-identical either way (the
@@ -464,7 +494,24 @@ fn assess(flags: &Flags) {
             if let Some(m) = &metrics {
                 pipeline = pipeline.with_metrics(m.clone());
             }
-            pipeline.assess(&entries)
+            match &trace_path {
+                Some(p) => {
+                    let (report, trace) = pipeline.assess_traced(&entries, TraceConfig::default());
+                    std::fs::write(p, trace.to_chrome_json())
+                        .unwrap_or_else(die(Path::new(p.as_str())));
+                    let jsonl_path = format!("{p}.jsonl");
+                    std::fs::write(&jsonl_path, trace.to_jsonl())
+                        .unwrap_or_else(die(Path::new(&jsonl_path)));
+                    report_to.normal(&format!(
+                        "trace written to {p} (Chrome trace events, {} spans, {} dropped) \
+                         and {jsonl_path} (JSONL)",
+                        trace.events().len(),
+                        trace.dropped()
+                    ));
+                    report
+                }
+                None => pipeline.assess(&entries),
+            }
         }
         None => {
             // Restore resumes the ingest clock where the checkpointed
@@ -498,6 +545,9 @@ fn assess(flags: &Flags) {
             };
             if let Some(m) = &metrics {
                 online = online.with_metrics(m.clone());
+            }
+            if let Some(rules) = alert_rules {
+                online = online.with_alerts(standard_alert_engine(rules), ALERT_WINDOW_RECORDS);
             }
             let write_checkpoint = |online: &OnlineAssessor, path: &str| {
                 let ck = if metrics.is_some() {
@@ -602,6 +652,15 @@ fn assess(flags: &Flags) {
     if total > 5 {
         report_to.verbose(&format!("  ... {} anomalies total", total));
     }
+    // Fired alerts: critical ones are summary-level (an operator
+    // running with defaults must see them), warnings are detail.
+    for alert in &report.alerts {
+        let line = format!("alert: {}", alert.message);
+        match alert.severity {
+            AlertSeverity::Critical => report_to.normal(&line),
+            AlertSeverity::Warning => report_to.verbose(&line),
+        }
+    }
 
     // Emit both exposition formats once the pipeline is done: the full
     // Prometheus text (both metric classes) and the Stable-only JSON
@@ -610,12 +669,12 @@ fn assess(flags: &Flags) {
         let prom = registry.render_prometheus();
         let snap = registry.snapshot_json();
         if path == "-" {
-            // Tolerate a closed pipe (`vqoe ... --metrics - | head`):
-            // scrape output is best-effort, not pipeline state.
-            use std::io::Write;
-            let mut stdout = std::io::stdout().lock();
-            let _ = stdout.write_all(prom.as_bytes());
-            let _ = stdout.write_all(snap.as_bytes());
+            // Through the Reporter, onto stderr: stdout stays reserved
+            // for data, so `vqoe ... --metrics - | tool` never sees
+            // scrape text interleaved into its input. Trailing newlines
+            // are trimmed because the reporter adds its own.
+            report_to.normal(prom.trim_end());
+            report_to.normal(snap.trim_end());
         } else {
             std::fs::write(&path, &prom).unwrap_or_else(die(Path::new(&path)));
             let snap_path = format!("{path}.json");
@@ -625,6 +684,64 @@ fn assess(flags: &Flags) {
             ));
         }
     }
+}
+
+/// `vqoe metrics-doc` — render the full metric surface of `vqoe assess`
+/// as a Markdown reference (stdout, or `--out FILE`). `docs/METRICS.md`
+/// is generated from this; a test fails when the two drift apart.
+fn metrics_doc(flags: &Flags) {
+    let doc = render_metrics_doc();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &doc).unwrap_or_else(die(Path::new(path)));
+            reporter(flags).normal(&format!("metrics reference written to {path}"));
+        }
+        None => {
+            // Tolerate a closed pipe: the doc is best-effort output.
+            use std::io::Write;
+            let _ = std::io::stdout().lock().write_all(doc.as_bytes());
+        }
+    }
+}
+
+/// The generated Markdown body: every metric `vqoe assess --metrics`
+/// registers — the pipeline set plus the CLI stage histograms — as one
+/// table per metric class.
+fn render_metrics_doc() -> String {
+    let registry = Registry::new();
+    let _metrics = PipelineMetrics::register(&registry);
+    for stage in ["read", "assess", "write"] {
+        registry.histogram(
+            &format!("vqoe_core_cli_{stage}_wall_micros"),
+            "wall-clock CLI stage latency in microseconds",
+            MetricClass::Runtime,
+            buckets::STAGE_MICROS,
+        );
+    }
+    let descs = registry.describe();
+    let mut doc = String::from(
+        "# Metrics reference\n\
+         \n\
+         Generated by `vqoe metrics-doc`; do not edit by hand (the\n\
+         `metrics_doc_is_current` test regenerates it and fails on\n\
+         drift). Every metric `vqoe assess --metrics` can expose is\n\
+         listed here. **Stable**-class metrics appear in both the\n\
+         Prometheus text and the deterministic JSON snapshot (and are\n\
+         byte-identical across runs and worker counts); **Runtime**\n\
+         metrics appear in the Prometheus text only.\n",
+    );
+    for (class, heading) in [
+        (MetricClass::Stable, "Stable metrics"),
+        (MetricClass::Runtime, "Runtime metrics"),
+    ] {
+        doc.push_str(&format!(
+            "\n## {heading}\n\n| Name | Kind | Help |\n|---|---|---|\n"
+        ));
+        for d in descs.iter().filter(|d| d.class == class) {
+            doc.push_str(&format!("| `{}` | {} | {} |\n", d.name, d.kind, d.help));
+        }
+    }
+    doc
 }
 
 fn fail<E: std::fmt::Display, T>(what: &str) -> impl FnOnce(E) -> T + '_ {
@@ -659,7 +776,9 @@ fn usage(err: &str) -> ! {
          \x20          [--max-subscribers N] [--memory-budget BYTES]\n\
          \x20          [--subscriber-budget BYTES] [--admission shed|refuse]\n\
          \x20          [--checkpoint PATH] [--checkpoint-at N] [--restore PATH]\n\
-         \x20          [--metrics PATH|-] [--quiet]\n\
+         \x20          [--metrics PATH|-] [--exemplars] [--trace PATH]\n\
+         \x20          [--alerts RULES.toml] [--quiet]\n\
+           metrics-doc [--out FILE]\n\
            corpus pack   --weblogs FILE --out FILE\n\
            corpus unpack --corpus FILE --out FILE\n\
          \n\
@@ -689,7 +808,19 @@ fn usage(err: &str) -> ! {
          (no --workers).\n\
          --metrics PATH writes pipeline metrics as Prometheus text to\n\
          PATH plus a deterministic JSON snapshot to PATH.json ('-'\n\
-         prints both to stdout)."
+         prints both to stderr via the status reporter, keeping stdout\n\
+         clean for data). --exemplars links each histogram bucket's max\n\
+         sample back to its session (id + tick) in both formats.\n\
+         --trace PATH records the engine's span structure (ingest,\n\
+         reassemble, fan-out, per-detector deliver, reduce) as Chrome\n\
+         trace events at PATH (load in Perfetto / chrome://tracing)\n\
+         plus compact JSONL at PATH.jsonl; byte-identical at any worker\n\
+         count (needs --workers). --alerts RULES.toml evaluates\n\
+         declarative threshold/rate/drift rules over the streaming\n\
+         assessor's per-window shed_rate / anomaly_rate / queue_depth\n\
+         series (drift is CUSUM-backed); fired alerts print on stderr,\n\
+         critical at the default level. metrics-doc regenerates the\n\
+         docs/METRICS.md metric reference."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

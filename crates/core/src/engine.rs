@@ -38,7 +38,7 @@ use std::collections::BTreeMap;
 use std::sync::{Condvar, Mutex as StdMutex};
 
 use vqoe_features::{SessionObs, SessionView};
-use vqoe_obs::{SimClock, StageSpan};
+use vqoe_obs::{SimClock, StageSpan, Trace, TraceConfig, TraceEvent, TraceSink, TraceStage};
 use vqoe_telemetry::{
     AnomalyKindCounts, AnomalyLog, IngestAnomaly, IngestConfig, ReassembledSession,
     RobustReassembler, StreamHealth, WeblogEntry,
@@ -134,6 +134,13 @@ struct ShardOutput {
     anomaly_total: u64,
     /// Exact per-kind quarantine counts for this shard (not capped).
     kinds: AnomalyKindCounts,
+    /// Span events recorded by this shard job (empty when tracing is
+    /// off). Like everything else in this struct they travel back
+    /// through the worker's join handle — the hot path never touches a
+    /// shared sink.
+    trace: Vec<TraceEvent>,
+    /// Events the shard's bounded sink had to drop.
+    trace_dropped: u64,
 }
 
 /// A bounded single-producer / multi-consumer job queue. `push` blocks
@@ -267,6 +274,31 @@ impl<'a> AssessmentEngine<'a> {
     /// bit-identical to that sequential run, including the health
     /// counters and the anomaly log.
     pub fn assess(&self, entries: &[WeblogEntry]) -> IngestReport {
+        self.assess_inner(entries, None).0
+    }
+
+    /// Like [`AssessmentEngine::assess`], with session tracing: every
+    /// emitted session records its typed span chain (ingest →
+    /// reassemble → subscription fan-out → per-detector deliver) into a
+    /// per-shard-job bounded [`TraceSink`], and the reducer merges the
+    /// sinks in emission-key order into one [`Trace`]. Every span is a
+    /// pure function of the input (deterministic ticks, no wall clock),
+    /// so the trace is byte-stable across runs and worker counts — and
+    /// the report stays bit-identical to the untraced pass.
+    pub fn assess_traced(
+        &self,
+        entries: &[WeblogEntry],
+        trace_cfg: TraceConfig,
+    ) -> (IngestReport, Trace) {
+        let (report, trace) = self.assess_inner(entries, Some(trace_cfg));
+        (report, trace.unwrap_or_default())
+    }
+
+    fn assess_inner(
+        &self,
+        entries: &[WeblogEntry],
+        trace_cfg: Option<TraceConfig>,
+    ) -> (IngestReport, Option<Trace>) {
         // One subscription set for the whole pass, shared by reference
         // across every worker: the detectors are registered once, and
         // each reassembled session is fanned out to them as one
@@ -300,7 +332,8 @@ impl<'a> AssessmentEngine<'a> {
                                 // regime).
                                 std::thread::sleep(std::time::Duration::from_micros(pacing));
                             }
-                            let out = self.process_shard(&subs, entries, &job.entry_indices);
+                            let out =
+                                self.process_shard(&subs, entries, &job.entry_indices, trace_cfg);
                             local.push((job.shard, out));
                         }
                         local
@@ -340,7 +373,7 @@ impl<'a> AssessmentEngine<'a> {
             // re-raising it is the only sane response.
             Err(p) => std::panic::resume_unwind(p),
         };
-        self.reduce(outputs)
+        self.reduce(outputs, trace_cfg.is_some())
     }
 
     /// Run one shard: its subscribers one at a time, each through a
@@ -351,6 +384,7 @@ impl<'a> AssessmentEngine<'a> {
         subs: &SubscriptionSet<'_>,
         entries: &[WeblogEntry],
         indices: &[u32],
+        trace_cfg: Option<TraceConfig>,
     ) -> ShardOutput {
         // Group the shard's arrivals per subscriber, preserving arrival
         // order inside each group. BTreeMap: worker code must never
@@ -370,7 +404,12 @@ impl<'a> AssessmentEngine<'a> {
             anomalies: Vec::new(),
             anomaly_total: 0,
             kinds: AnomalyKindCounts::default(),
+            trace: Vec::new(),
+            trace_dropped: 0,
         };
+        // This job's private trace sink: recorded into without locks,
+        // handed back through the join handle with everything else.
+        let mut sink = trace_cfg.map(|c| TraceSink::with_capacity(c.capacity_per_shard));
         // Deterministic stage timing: the worker's clock advances one
         // tick per entry processed, so the span length is the shard's
         // entry count — identical at any worker count.
@@ -397,13 +436,15 @@ impl<'a> AssessmentEngine<'a> {
                 }
                 prev_kept = log.kept().len();
                 for (k, s) in sessions.iter().enumerate() {
-                    out.emissions
-                        .push(((0, g as u64, k as u32), self.assess_one(subs, s)));
+                    let key = (0, g as u64, k as u32);
+                    let a = self.assess_one(subs, s, sink.as_mut().map(|t| (t, key, subscriber)));
+                    out.emissions.push((key, a));
                 }
             }
             for (k, s) in machine.finish().iter().enumerate() {
-                out.emissions
-                    .push(((1, subscriber, k as u32), self.assess_one(subs, s)));
+                let key = (1, subscriber, k as u32);
+                let a = self.assess_one(subs, s, sink.as_mut().map(|t| (t, key, subscriber)));
+                out.emissions.push((key, a));
             }
             out.anomaly_total += log.total();
             out.kinds.absorb(&log.kinds());
@@ -425,19 +466,26 @@ impl<'a> AssessmentEngine<'a> {
                 m.observe_kind_delta(&AnomalyKindCounts::default(), &out.kinds);
             }
         }
+        if let Some(sink) = sink {
+            let (events, dropped) = sink.into_parts();
+            out.trace = events;
+            out.trace_dropped = dropped;
+        }
         out
     }
 
     /// The deterministic ordered reducer: sort emissions on their keys,
     /// sum health counters, merge anomaly logs back into global arrival
     /// order.
-    fn reduce(&self, outputs: Vec<ShardOutput>) -> IngestReport {
+    fn reduce(&self, outputs: Vec<ShardOutput>, traced: bool) -> (IngestReport, Option<Trace>) {
         let mut emissions: Vec<(EmissionKey, SessionAssessment)> = Vec::new();
         let mut health = StreamHealth::default();
         let mut shard_health = Vec::with_capacity(outputs.len());
         let mut anomalies: Vec<(u64, IngestAnomaly)> = Vec::new();
         let mut anomaly_total = 0u64;
         let mut kinds = AnomalyKindCounts::default();
+        let mut trace_events: Vec<TraceEvent> = Vec::new();
+        let mut trace_dropped = 0u64;
         for out in outputs {
             if let Some(m) = &self.metrics {
                 m.reduce_merge_size.observe(out.emissions.len() as u64);
@@ -448,13 +496,31 @@ impl<'a> AssessmentEngine<'a> {
             anomalies.extend(out.anomalies);
             anomaly_total += out.anomaly_total;
             kinds.absorb(&out.kinds);
+            trace_events.extend(out.trace);
+            trace_dropped += out.trace_dropped;
         }
         // Keys are unique (at most one anomaly and one emission batch
         // per entry), so an unstable sort is deterministic here.
         emissions.sort_unstable_by_key(|&(key, _)| key);
         anomalies.sort_unstable_by_key(|&(g, _)| g);
+        let trace = traced.then(|| {
+            // One closing span for the reducer itself, keyed after
+            // every per-session key (phase 2): ticks = emissions
+            // merged, a pure function of the input.
+            trace_events.push(TraceEvent {
+                key: (2, 0, 0),
+                seq: 0,
+                stage: TraceStage::Reduce,
+                subscriber: 0,
+                session: 0,
+                start_tick: 0,
+                dur_ticks: emissions.len() as u64,
+                detail: "",
+            });
+            Trace::from_parts(trace_events, trace_dropped)
+        });
         let cap = self.ingest_cfg.max_anomalies_kept;
-        IngestReport {
+        let report = IngestReport {
             assessments: emissions.into_iter().map(|(_, a)| a).collect(),
             health,
             shard_health,
@@ -470,20 +536,74 @@ impl<'a> AssessmentEngine<'a> {
             // keeps engine reports comparable (and equal, unbudgeted)
             // to streaming reports.
             shed: ShedLog::new(cap),
-        }
+            alerts: Vec::new(),
+        };
+        (report, trace)
     }
 
     fn assess_one(
         &self,
         subs: &SubscriptionSet<'_>,
         session: &ReassembledSession,
+        trace: Option<(&mut TraceSink, EmissionKey, u64)>,
     ) -> SessionAssessment {
         let obs = SessionObs::from_reassembled(session);
-        let assessment = subs.assess_session(SessionView::over(&obs, session));
+        let view = SessionView::over(&obs, session);
+        let assessment = match trace {
+            None => subs.assess_session(view),
+            Some((sink, key, subscriber)) => {
+                let mut delivered: Vec<&'static str> = Vec::new();
+                let assessment = subs.assess_session_observed(view, |_, name| delivered.push(name));
+                record_session_spans(sink, key, subscriber, session, &delivered);
+                assessment
+            }
+        };
         if let Some(m) = &self.metrics {
             m.observe_session(session, &assessment);
         }
         assessment
+    }
+}
+
+/// Record one emitted session's span chain: ingest (all records),
+/// reassemble (media chunks), fan-out, then one deliver span per
+/// detector. Ticks are deterministic work units — one per record
+/// examined — anchored at the session's start time in tap
+/// microseconds, so the chain is a pure function of the session
+/// content and Perfetto lays sessions out along tap time.
+fn record_session_spans(
+    sink: &mut TraceSink,
+    key: EmissionKey,
+    subscriber: u64,
+    session: &ReassembledSession,
+    delivered: &[&'static str],
+) {
+    let session_id = session.start.as_micros();
+    let chunks = (session.chunks.len() as u64).max(1);
+    let records = chunks + session.other.len() as u64;
+    let mut tick = session_id;
+    let head = [
+        (TraceStage::Ingest, records, ""),
+        (TraceStage::Reassemble, chunks, ""),
+        (TraceStage::Fanout, (delivered.len() as u64).max(1), ""),
+    ];
+    let spans = head.into_iter().chain(
+        delivered
+            .iter()
+            .map(|&name| (TraceStage::Deliver, chunks, name)),
+    );
+    for (seq, (stage, dur_ticks, detail)) in spans.enumerate() {
+        sink.record(TraceEvent {
+            key,
+            seq: seq as u32,
+            stage,
+            subscriber,
+            session: session_id,
+            start_tick: tick,
+            dur_ticks,
+            detail,
+        });
+        tick += dur_ticks;
     }
 }
 

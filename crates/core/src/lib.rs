@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alerting;
 pub mod avgrep_pipeline;
 pub mod detector;
 pub mod encrypted;
@@ -75,6 +76,9 @@ pub mod subscribe;
 pub mod switch_pipeline;
 pub mod weblog_training;
 
+pub use alerting::{
+    default_alert_rules, drift_backend, standard_alert_engine, ALERT_WINDOW_RECORDS,
+};
 pub use avgrep_pipeline::{RepresentationModel, RepresentationTrainingReport};
 pub use detector::{Detector, DetectorAccuracy};
 pub use encrypted::{EncryptedEvalConfig, EncryptedWorld};

@@ -19,6 +19,7 @@ use vqoe_telemetry::{AnomalyKind, AnomalyKindCounts, ReassembledSession, StreamH
 use crate::avgrep_pipeline::RepresentationModel;
 use crate::detector::Detector;
 use crate::monitor::SessionAssessment;
+use crate::online::{ShedReason, ShedReasonCounts};
 use crate::stall_pipeline::StallModel;
 use crate::switch_pipeline::SwitchModel;
 
@@ -62,6 +63,10 @@ pub struct PipelineMetrics {
     // Online assessor.
     pub(crate) online_evictions: Counter,
     pub(crate) online_sheds: Counter,
+    pub(crate) shed_lru_capacity: Counter,
+    pub(crate) shed_subscriber_budget: Counter,
+    pub(crate) shed_global_budget: Counter,
+    pub(crate) shed_admission_refused: Counter,
     pub(crate) open_subscribers: Gauge,
     pub(crate) tracked_bytes: Gauge,
     // Training.
@@ -223,6 +228,22 @@ impl PipelineMetrics {
                 "vqoe_core_online_sheds_total",
                 "budget-driven force-finalizations by the online assessor",
             ),
+            shed_lru_capacity: counter(
+                "vqoe_core_online_shed_lru_capacity_total",
+                "shed events: LRU eviction under the open-subscriber cap",
+            ),
+            shed_subscriber_budget: counter(
+                "vqoe_core_online_shed_subscriber_budget_total",
+                "shed events: subscriber outgrew its per-subscriber byte budget",
+            ),
+            shed_global_budget: counter(
+                "vqoe_core_online_shed_global_budget_total",
+                "shed events: coldest subscriber shed under the global byte budget",
+            ),
+            shed_admission_refused: counter(
+                "vqoe_core_online_shed_admission_refused_total",
+                "shed events: new subscriber refused admission under a full global budget",
+            ),
             open_subscribers: registry.gauge(
                 "vqoe_core_online_open_subscribers",
                 "subscribers currently tracked by the online assessor",
@@ -250,6 +271,20 @@ impl PipelineMetrics {
         }
     }
 
+    /// Like [`PipelineMetrics::register`], but with exemplar capture
+    /// enabled on the chunk-size and session-duration histograms: each
+    /// bucket retains its maximal sample linked back to the session
+    /// (id + tick) that produced it, so tail latencies point straight
+    /// at replayable sessions. The retained set is a pure function of
+    /// the input, so the `Stable` snapshot stays byte-identical at any
+    /// worker count.
+    pub fn register_with_exemplars(registry: &Registry) -> Self {
+        let metrics = PipelineMetrics::register(registry);
+        metrics.chunk_bytes.enable_exemplars();
+        metrics.session_micros.enable_exemplars();
+        metrics
+    }
+
     /// Record one cross-validation run: a [`StageSpan`] per fold (ticks
     /// = test rows scored, skipped folds span zero ticks), the
     /// skipped-fold count, and the trees fitted. Everything recorded
@@ -271,6 +306,30 @@ impl PipelineMetrics {
     /// Record a deployment-model fit of `n_trees` trees.
     pub(crate) fn observe_fit(&self, n_trees: usize) {
         self.trees_fitted.add(n_trees as u64);
+    }
+
+    /// Handle for one shed-reason counter.
+    pub(crate) fn shed_reason(&self, reason: ShedReason) -> &Counter {
+        match reason {
+            ShedReason::LruCapacity => &self.shed_lru_capacity,
+            ShedReason::SubscriberBudget => &self.shed_subscriber_budget,
+            ShedReason::GlobalBudget => &self.shed_global_budget,
+            ShedReason::AdmissionRefused => &self.shed_admission_refused,
+        }
+    }
+
+    /// Reconstruct the per-reason shed distribution from the registry
+    /// counters (mirrors [`ShedLog::reasons`]): with metrics attached,
+    /// the report's shed log and this view agree field for field.
+    ///
+    /// [`ShedLog::reasons`]: crate::online::ShedLog::reasons
+    pub fn shed_reasons_view(&self) -> ShedReasonCounts {
+        ShedReasonCounts {
+            lru_capacity: self.shed_lru_capacity.get(),
+            subscriber_budget: self.shed_subscriber_budget.get(),
+            global_budget: self.shed_global_budget.get(),
+            admission_refused: self.shed_admission_refused.get(),
+        }
     }
 
     /// Handle for one anomaly-kind counter.
@@ -346,11 +405,20 @@ impl PipelineMetrics {
         session: &ReassembledSession,
         assessment: &SessionAssessment,
     ) {
+        // Exemplar linkage: session id = start time in tap micros, tick
+        // = the sample's own tap-time micros — pure functions of the
+        // input, so exemplar capture never perturbs the snapshot's
+        // determinism. With capture disabled these are plain observes.
+        let session_id = session.start.as_micros();
         for chunk in &session.chunks {
-            self.chunk_bytes.observe(chunk.bytes);
+            self.chunk_bytes
+                .observe_exemplar(chunk.bytes, session_id, chunk.timestamp.as_micros());
         }
-        self.session_micros
-            .observe(assessment.end.duration_since(assessment.start).as_micros());
+        self.session_micros.observe_exemplar(
+            assessment.end.duration_since(assessment.start).as_micros(),
+            session_id,
+            assessment.end.as_micros(),
+        );
         self.sessions_assessed.inc();
         if assessment.qoe.is_poor() {
             self.sessions_poor_qoe.inc();

@@ -35,6 +35,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use vqoe_features::{SessionObs, SessionView};
+use vqoe_obs::{Alert, AlertEngine};
 use vqoe_simnet::time::Instant;
 use vqoe_telemetry::{
     validate_entry, AnomalyLog, IngestAnomaly, IngestConfig, ReassembledSession, ReassemblerState,
@@ -238,7 +239,10 @@ impl ShedLog {
 
 /// Everything a closed tap run produced: the assessments plus the
 /// degradation telemetry accumulated along the way.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) so the `alerts` field
+/// stays out of the wire format — see its doc comment.
+#[derive(Debug, Clone, PartialEq)]
 pub struct IngestReport {
     /// All emitted assessments, in emission order.
     pub assessments: Vec<SessionAssessment>,
@@ -255,6 +259,42 @@ pub struct IngestReport {
     /// worker and never sheds — so an unbudgeted streaming run stays
     /// bit-identical to the engine at any worker count.
     pub shed: ShedLog,
+    /// Alerts the attached [`AlertEngine`] raised over the run's
+    /// per-window sample series (empty without
+    /// [`OnlineAssessor::with_alerts`]). Derived telemetry, not state:
+    /// excluded from serialization and checkpoints — a restored run
+    /// re-derives its own alerts from the replayed records.
+    pub alerts: Vec<Alert>,
+}
+
+impl Serialize for IngestReport {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(Vec::from([
+            ("assessments".to_string(), self.assessments.to_value()),
+            ("health".to_string(), self.health.to_value()),
+            ("shard_health".to_string(), self.shard_health.to_value()),
+            ("anomalies".to_string(), self.anomalies.to_value()),
+            ("shed".to_string(), self.shed.to_value()),
+        ]))
+    }
+}
+
+impl Deserialize for IngestReport {
+    fn from_value(value: &serde::Value) -> Result<IngestReport, serde::DeError> {
+        let field = |name: &'static str| {
+            value
+                .get(name)
+                .ok_or_else(|| serde::DeError::missing_field("IngestReport", name))
+        };
+        Ok(IngestReport {
+            assessments: Deserialize::from_value(field("assessments")?)?,
+            health: Deserialize::from_value(field("health")?)?,
+            shard_health: Deserialize::from_value(field("shard_health")?)?,
+            anomalies: Deserialize::from_value(field("anomalies")?)?,
+            shed: Deserialize::from_value(field("shed")?)?,
+            alerts: Vec::new(),
+        })
+    }
 }
 
 /// One shard's streaming state: the subscribers hashed onto it and the
@@ -299,6 +339,22 @@ pub struct OnlineAssessor {
     anomalies: AnomalyLog,
     shed: ShedLog,
     metrics: Option<PipelineMetrics>,
+    alerts: Option<AlertState>,
+}
+
+/// Alerting state riding along the assessor: the rule engine plus the
+/// window bookkeeping that turns monotone totals into per-window
+/// deltas.
+#[derive(Debug, Clone)]
+struct AlertState {
+    engine: AlertEngine,
+    /// Records per sample window (the deterministic tick window — the
+    /// assessor's record clock, never wall time).
+    window_records: u64,
+    /// Shed-log total at the last window boundary.
+    last_shed_total: u64,
+    /// Anomaly-log total at the last window boundary.
+    last_anomaly_total: u64,
 }
 
 impl OnlineAssessor {
@@ -336,6 +392,7 @@ impl OnlineAssessor {
             peak_tracked_bytes: 0,
             records_ingested: 0,
             metrics: None,
+            alerts: None,
         }
     }
 
@@ -353,6 +410,25 @@ impl OnlineAssessor {
     /// with or without metrics.
     pub fn with_metrics(mut self, metrics: PipelineMetrics) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attach an [`AlertEngine`]: every `window_records` ingested
+    /// records the assessor pushes one sample per built-in series —
+    /// `shed_rate` (shed events this window), `anomaly_rate`
+    /// (quarantines this window), `queue_depth` (subscribers tracked at
+    /// the boundary) — and [`OnlineAssessor::into_report`] evaluates
+    /// the rules over the completed series into
+    /// [`IngestReport::alerts`]. The window is measured on the record
+    /// clock, so the samples (and thus the alerts) are deterministic.
+    /// Assessments stay bit-identical with or without alerting.
+    pub fn with_alerts(mut self, engine: AlertEngine, window_records: u64) -> Self {
+        self.alerts = Some(AlertState {
+            engine,
+            window_records: window_records.max(1),
+            last_shed_total: 0,
+            last_anomaly_total: 0,
+        });
         self
     }
 
@@ -461,6 +537,7 @@ impl OnlineAssessor {
                 });
                 if let Some(m) = &self.metrics {
                     m.subscribers_refused.inc();
+                    m.shed_reason(ShedReason::AdmissionRefused).inc();
                 }
                 return out;
             }
@@ -537,7 +614,39 @@ impl OnlineAssessor {
                 }
             }
         }
+        // Alert sampling at window boundaries of the record clock —
+        // after the entry's sheds/quarantines, so the window that
+        // caused an event also reports it.
+        if self
+            .alerts
+            .as_ref()
+            .is_some_and(|a| self.records_ingested % a.window_records == 0)
+        {
+            self.sample_alert_window();
+        }
         out
+    }
+
+    /// Push one sample per built-in alert series for the window that
+    /// just closed.
+    fn sample_alert_window(&mut self) {
+        let shed_total = self.shed.total();
+        let anomaly_total = self.anomalies.total();
+        let depth = self.tracked as f64;
+        let Some(al) = &mut self.alerts else {
+            return;
+        };
+        al.engine.push_sample(
+            "shed_rate",
+            shed_total.saturating_sub(al.last_shed_total) as f64,
+        );
+        al.engine.push_sample(
+            "anomaly_rate",
+            anomaly_total.saturating_sub(al.last_anomaly_total) as f64,
+        );
+        al.engine.push_sample("queue_depth", depth);
+        al.last_shed_total = shed_total;
+        al.last_anomaly_total = anomaly_total;
     }
 
     /// Close all open streams gracefully (end of tap / end of day) and
@@ -550,13 +659,28 @@ impl OnlineAssessor {
     /// Close all open streams and return assessments together with the
     /// final [`StreamHealth`] (global and per shard) and [`AnomalyLog`].
     pub fn into_report(mut self) -> IngestReport {
+        // Close out a trailing partial alert window so sheds after the
+        // last boundary still feed the rule engine.
+        if self
+            .alerts
+            .as_ref()
+            .is_some_and(|a| self.records_ingested % a.window_records != 0)
+        {
+            self.sample_alert_window();
+        }
         let assessments = self.drain();
+        let alerts = self
+            .alerts
+            .take()
+            .map(|mut a| a.engine.finish())
+            .unwrap_or_default();
         IngestReport {
             assessments,
             health: self.health(),
             shard_health: self.shard_health(),
             anomalies: self.anomalies,
             shed: self.shed,
+            alerts,
         }
     }
 
@@ -621,6 +745,7 @@ impl OnlineAssessor {
                 }
             }
             m.sessions_partial.add(sessions.len() as u64);
+            m.shed_reason(reason).inc();
             m.open_subscribers.set(self.tracked as i64);
             m.tracked_bytes.set(self.tracked_bytes as i64);
         }
@@ -777,6 +902,7 @@ impl OnlineAssessor {
             anomalies: ck.anomalies.clone(),
             shed: ck.shed.clone(),
             metrics: None,
+            alerts: None,
         })
     }
 }

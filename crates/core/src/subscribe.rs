@@ -37,6 +37,7 @@
 //! what the standard three produce.
 
 use vqoe_features::{RqClass, SessionObs, SessionView, StallClass};
+use vqoe_obs::{Trace, TraceConfig};
 use vqoe_telemetry::{reassemble_subscriber, BinaryCorpus, BinlogError, IngestConfig, WeblogEntry};
 
 use crate::avgrep_pipeline::RepresentationModel;
@@ -232,11 +233,25 @@ impl<'m> SubscriptionSet<'m> {
     /// bit-identical to the historical hand-rolled computation (same
     /// frozen models, same decision rule, same composite score).
     pub fn assess_session(&self, view: SessionView<'_>) -> SessionAssessment {
+        self.assess_session_observed(view, |_, _| {})
+    }
+
+    /// Like [`SubscriptionSet::assess_session`], but invokes `observe`
+    /// with `(index, name)` immediately before each subscription's
+    /// `deliver` call — the hook the session tracer uses to record one
+    /// deliver span per detector. The returned assessment is
+    /// bit-identical to the unobserved fold.
+    pub fn assess_session_observed(
+        &self,
+        view: SessionView<'_>,
+        mut observe: impl FnMut(usize, &'static str),
+    ) -> SessionAssessment {
         let mut stall = StallClass::NoStalls;
         let mut representation = RqClass::Ld;
         let mut has_quality_switches = false;
         let mut switch_score = 0.0;
-        for sub in &self.subs {
+        for (idx, sub) in self.subs.iter().enumerate() {
+            observe(idx, sub.name());
             match sub.deliver(&view) {
                 Signal::Stall(c) => stall = c,
                 Signal::Representation(c) => representation = c,
@@ -356,6 +371,19 @@ impl<'m> IngestPipeline<'m> {
     /// at any worker count.
     pub fn assess(&self, entries: &[WeblogEntry]) -> IngestReport {
         self.build_engine().assess(entries)
+    }
+
+    /// Like [`IngestPipeline::assess`], with session tracing: every
+    /// emitted session additionally records its span chain (ingest →
+    /// reassemble → fan-out → per-detector deliver) into a merged
+    /// [`Trace`], byte-stable across runs and worker counts. The report
+    /// is bit-identical to the untraced pass.
+    pub fn assess_traced(
+        &self,
+        entries: &[WeblogEntry],
+        trace_cfg: TraceConfig,
+    ) -> (IngestReport, Trace) {
+        self.build_engine().assess_traced(entries, trace_cfg)
     }
 
     /// Assess a packed binary corpus: decode records straight from the

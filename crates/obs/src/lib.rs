@@ -20,6 +20,14 @@
 //!   implementations live in `vqoe-bench` and the `vqoe` CLI only.
 //! - [`Reporter`] — a levelled (quiet/normal/verbose) stderr reporter
 //!   replacing ad-hoc `eprintln!` health reporting in the CLI.
+//! - [`TraceSink`] / [`Trace`] — deterministic session tracing: typed
+//!   span events (ingest → reassemble → fan-out → deliver → reduce)
+//!   recorded per shard job without locks, merged in emission-key
+//!   order, exported as Chrome trace-event JSON and compact JSONL.
+//! - [`AlertEngine`] — declarative alerting (threshold, rate-over-
+//!   window, injected change-detector drift) over per-window metric
+//!   sample series, with rules parsed from a TOML subset
+//!   ([`parse_rules`]).
 //!
 //! Metric names follow `vqoe_<crate>_<subsystem>_<name>`, with the usual
 //! Prometheus `_total` suffix on counters. Bucket boundaries tuned for
@@ -29,11 +37,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod alerts;
 pub mod buckets;
 mod clock;
 mod registry;
 mod reporter;
+mod trace;
 
+pub use alerts::{
+    parse_rules, Alert, AlertEngine, AlertRule, AlertSeverity, DriftFn, RuleKind, RuleParseError,
+    MAX_SAMPLES_PER_SERIES,
+};
 pub use clock::{Clock, SimClock, StageSpan};
-pub use registry::{Counter, Gauge, Histogram, MetricClass, Registry, SnapshotError};
+pub use registry::{
+    Counter, Exemplar, Gauge, Histogram, MetricClass, MetricDesc, Registry, SnapshotError,
+    EXEMPLARS_PER_BUCKET,
+};
 pub use reporter::{ReportLevel, Reporter};
+pub use trace::{Trace, TraceConfig, TraceEvent, TraceSink, TraceStage, TRACE_FORMAT_VERSION};

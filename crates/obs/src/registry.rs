@@ -2,8 +2,38 @@
 //! the two exposition sinks (Prometheus text, stable JSON snapshot).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// How many exemplars a histogram bucket retains when exemplar capture
+/// is enabled: the top samples by value, ties broken toward the
+/// smallest `(session, tick)`. A fixed cap keeps the merge rule
+/// commutative — the retained set is a pure function of the observed
+/// multiset, independent of worker count or arrival order.
+pub const EXEMPLARS_PER_BUCKET: usize = 1;
+
+/// A sample linked back to the session that produced it: the bucket's
+/// maximal observation plus enough identity (session id, deterministic
+/// tick) to replay it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Exemplar {
+    /// The observed sample value.
+    pub value: u64,
+    /// Session identity (session start time in tap microseconds).
+    pub session: u64,
+    /// Deterministic tick of the observation (tap-time microseconds).
+    pub tick: u64,
+}
+
+/// Keep the top [`EXEMPLARS_PER_BUCKET`] exemplars by `(value desc,
+/// session asc, tick asc)` — a total order, so the retained set is
+/// independent of observation order.
+fn merge_exemplar(slots: &mut Vec<Exemplar>, ex: Exemplar) {
+    slots.push(ex);
+    slots.sort_by_key(|e| (std::cmp::Reverse(e.value), e.session, e.tick));
+    slots.dedup();
+    slots.truncate(EXEMPLARS_PER_BUCKET);
+}
 
 /// Determinism class of a metric.
 ///
@@ -18,6 +48,30 @@ pub enum MetricClass {
     /// Scheduling- or wall-clock-dependent (queue depths, stall counts,
     /// wall-time latencies). Excluded from the JSON snapshot.
     Runtime,
+}
+
+impl MetricClass {
+    /// Stable lowercase label (docs, report tables).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MetricClass::Stable => "stable",
+            MetricClass::Runtime => "runtime",
+        }
+    }
+}
+
+/// One registered metric's description, as returned by
+/// [`Registry::describe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricDesc {
+    /// The registered metric name.
+    pub name: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: &'static str,
+    /// Determinism class.
+    pub class: MetricClass,
+    /// The help text it was registered with.
+    pub help: String,
 }
 
 /// Monotonic counter handle. Clones share the same underlying value.
@@ -73,6 +127,14 @@ struct HistogramState {
     counts: Vec<AtomicU64>,
     sum: AtomicU64,
     count: AtomicU64,
+    /// Whether [`Histogram::observe_exemplar`] captures exemplars. Off
+    /// by default so plain histograms pay nothing and expose nothing.
+    exemplars_enabled: AtomicBool,
+    /// Per-bucket exemplar slots (same indexing as `counts`), each
+    /// holding at most [`EXEMPLARS_PER_BUCKET`] entries. Guarded by a
+    /// mutex: exemplar capture is opt-in and off the per-entry fast
+    /// path (counts stay lock-free).
+    exemplars: Mutex<Vec<Vec<Exemplar>>>,
 }
 
 /// Fixed-boundary histogram handle.
@@ -96,6 +158,8 @@ impl Histogram {
             counts: (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect(),
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            exemplars_enabled: AtomicBool::new(false),
+            exemplars: Mutex::new((0..=sorted.len()).map(|_| Vec::new()).collect()),
         };
         Histogram {
             bounds: Arc::new(sorted),
@@ -136,6 +200,63 @@ impl Histogram {
     /// Number of observed samples.
     pub fn count(&self) -> u64 {
         self.state.count.load(Ordering::Relaxed)
+    }
+
+    /// Turn on exemplar capture for this histogram (and every clone —
+    /// the flag lives in the shared state). Idempotent.
+    pub fn enable_exemplars(&self) {
+        self.state.exemplars_enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether exemplar capture is on.
+    pub fn exemplars_enabled(&self) -> bool {
+        self.state.exemplars_enabled.load(Ordering::Relaxed)
+    }
+
+    fn exemplar_lock(&self) -> std::sync::MutexGuard<'_, Vec<Vec<Exemplar>>> {
+        self.state
+            .exemplars
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record one sample together with its session linkage. Counts as a
+    /// plain [`Histogram::observe`]; when exemplar capture is enabled
+    /// the bucket additionally retains the top
+    /// [`EXEMPLARS_PER_BUCKET`] samples by `(value, session, tick)` —
+    /// an order-independent rule, so the retained exemplars are
+    /// byte-identical at any worker count.
+    pub fn observe_exemplar(&self, v: u64, session: u64, tick: u64) {
+        self.observe(v);
+        if !self.exemplars_enabled() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| v > *b);
+        let mut slots = self.exemplar_lock();
+        if let Some(bucket) = slots.get_mut(idx) {
+            merge_exemplar(
+                bucket,
+                Exemplar {
+                    value: v,
+                    session,
+                    tick,
+                },
+            );
+        }
+    }
+
+    /// The retained exemplars, flattened as `(bucket index, exemplar)`
+    /// in bucket order (the final index is the +Inf bucket). Empty when
+    /// capture is disabled or nothing was observed.
+    pub fn exemplars(&self) -> Vec<(usize, Exemplar)> {
+        if !self.exemplars_enabled() {
+            return Vec::new();
+        }
+        self.exemplar_lock()
+            .iter()
+            .enumerate()
+            .flat_map(|(i, bucket)| bucket.iter().map(move |&e| (i, e)))
+            .collect()
     }
 }
 
@@ -252,6 +373,43 @@ impl Registry {
         handle
     }
 
+    /// Register (or look up) a fixed-boundary histogram with exemplar
+    /// capture enabled: each bucket retains its top
+    /// [`EXEMPLARS_PER_BUCKET`] samples with session linkage, rendered
+    /// in the JSON snapshot and as OpenMetrics-style exemplar suffixes
+    /// in the Prometheus exposition.
+    pub fn histogram_with_exemplars(
+        &self,
+        name: &str,
+        help: &str,
+        class: MetricClass,
+        bounds: &[u64],
+    ) -> Histogram {
+        let handle = self.histogram(name, help, class, bounds);
+        handle.enable_exemplars();
+        handle
+    }
+
+    /// Describe every registered metric — name, kind, class, help — in
+    /// name (lexicographic) order. The reference the `vqoe metrics-doc`
+    /// subcommand renders.
+    pub fn describe(&self) -> Vec<MetricDesc> {
+        let entries = self.lock();
+        entries
+            .iter()
+            .map(|(name, entry)| MetricDesc {
+                name: name.clone(),
+                kind: match &entry.metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "histogram",
+                },
+                class: entry.class,
+                help: entry.help.clone(),
+            })
+            .collect()
+    }
+
     /// Render every registered metric (both classes) as Prometheus text
     /// exposition: `# HELP` / `# TYPE` comments followed by samples,
     /// histograms as cumulative `_bucket{le=...}` series plus `_sum` and
@@ -271,12 +429,30 @@ impl Registry {
                 Metric::Histogram(h) => {
                     out.push_str(&format!("# TYPE {name} histogram\n"));
                     let counts = h.bucket_counts();
+                    // OpenMetrics-style exemplar suffix per bucket line
+                    // (` # {labels} value`), when capture is enabled.
+                    let exemplar_suffix = |idx: usize| -> String {
+                        let Some(&(_, e)) = h.exemplars().iter().find(|&&(i, _)| i == idx) else {
+                            return String::new();
+                        };
+                        format!(
+                            " # {{session=\"{}\",tick=\"{}\"}} {}",
+                            e.session, e.tick, e.value
+                        )
+                    };
                     let mut cumulative = 0u64;
-                    for (bound, count) in h.bounds().iter().zip(counts.iter()) {
+                    for (idx, (bound, count)) in h.bounds().iter().zip(counts.iter()).enumerate() {
                         cumulative = cumulative.saturating_add(*count);
-                        out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{bound}\"}} {cumulative}{}\n",
+                            exemplar_suffix(idx)
+                        ));
                     }
-                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"+Inf\"}} {}{}\n",
+                        h.count(),
+                        exemplar_suffix(h.bounds().len())
+                    ));
                     out.push_str(&format!("{name}_sum {}\n", h.sum()));
                     out.push_str(&format!("{name}_count {}\n", h.count()));
                 }
@@ -314,13 +490,29 @@ impl Registry {
                         .map(|(bound, count)| format!("[{bound}, {count}]"))
                         .collect();
                     let inf = h.bucket_counts().last().copied().unwrap_or(0);
+                    // Exemplar-enabled histograms append their retained
+                    // exemplars; plain histograms keep the original
+                    // (exemplar-free) shape byte for byte.
+                    let exemplars = if h.exemplars_enabled() {
+                        let entries: Vec<String> = h
+                            .exemplars()
+                            .iter()
+                            .map(|(i, e)| {
+                                format!("[{}, {}, {}, {}]", i, e.value, e.session, e.tick)
+                            })
+                            .collect();
+                        format!(", \"exemplars\": [{}]", entries.join(", "))
+                    } else {
+                        String::new()
+                    };
                     histograms.push(format!(
-                        "    {}: {{ \"buckets\": [{}], \"inf\": {}, \"sum\": {}, \"count\": {} }}",
+                        "    {}: {{ \"buckets\": [{}], \"inf\": {}, \"sum\": {}, \"count\": {}{} }}",
                         json_string(name),
                         buckets.join(", "),
                         inf,
                         h.sum(),
-                        h.count()
+                        h.count(),
+                        exemplars
                     ));
                 }
             }
@@ -434,6 +626,9 @@ struct HistogramParts {
     sum: u64,
     /// Number of observed samples.
     count: u64,
+    /// Retained exemplars as `(bucket index, exemplar)`, present only
+    /// when the saved histogram had exemplar capture enabled.
+    exemplars: Option<Vec<(usize, Exemplar)>>,
 }
 
 impl Histogram {
@@ -458,6 +653,18 @@ impl Histogram {
         }
         self.state.sum.fetch_add(parts.sum, Ordering::Relaxed);
         self.state.count.fetch_add(parts.count, Ordering::Relaxed);
+        // A snapshot carrying exemplars re-enables capture on restore
+        // (so restore → snapshot round-trips byte-identically) and
+        // merges the saved exemplars under the usual top-K rule.
+        if let Some(exemplars) = &parts.exemplars {
+            self.enable_exemplars();
+            let mut slots = self.exemplar_lock();
+            for &(idx, ex) in exemplars {
+                if let Some(bucket) = slots.get_mut(idx) {
+                    merge_exemplar(bucket, ex);
+                }
+            }
+        }
         Some(())
     }
 }
@@ -653,6 +860,49 @@ impl<'a> Cursor<'a> {
             if key != "count" {
                 self.eat(',')?;
             }
+        }
+        // Optional trailing "exemplars" key (exemplar-enabled
+        // histograms only).
+        if self.peek() == Some(',') {
+            self.eat(',')?;
+            if self.string()? != "exemplars" {
+                return Err(SnapshotError::Malformed("unexpected histogram key"));
+            }
+            self.eat(':')?;
+            self.eat('[')?;
+            let mut exemplars = Vec::new();
+            if self.peek() == Some(']') {
+                self.eat(']')?;
+            } else {
+                loop {
+                    self.eat('[')?;
+                    let idx = self.unsigned()?;
+                    self.eat(',')?;
+                    let value = self.unsigned()?;
+                    self.eat(',')?;
+                    let session = self.unsigned()?;
+                    self.eat(',')?;
+                    let tick = self.unsigned()?;
+                    self.eat(']')?;
+                    let idx = usize::try_from(idx)
+                        .map_err(|_| SnapshotError::Malformed("exemplar bucket out of range"))?;
+                    exemplars.push((
+                        idx,
+                        Exemplar {
+                            value,
+                            session,
+                            tick,
+                        },
+                    ));
+                    if self.peek() == Some(',') {
+                        self.eat(',')?;
+                    } else {
+                        break;
+                    }
+                }
+                self.eat(']')?;
+            }
+            parts.exemplars = Some(exemplars);
         }
         self.eat('}')?;
         Ok(parts)
@@ -903,5 +1153,126 @@ mod tests {
         let empty_snapshot = Registry::new().snapshot_json();
         let reg = populated();
         assert_eq!(reg.absorb_snapshot(&empty_snapshot), Ok(0));
+    }
+
+    #[test]
+    fn exemplars_keep_the_bucket_maximum_regardless_of_order() {
+        let forward = Histogram::with_bounds(&[10, 100]);
+        forward.enable_exemplars();
+        let samples = [(5u64, 1u64, 10u64), (9, 2, 20), (7, 3, 30), (500, 4, 40)];
+        for &(v, s, t) in &samples {
+            forward.observe_exemplar(v, s, t);
+        }
+        let backward = Histogram::with_bounds(&[10, 100]);
+        backward.enable_exemplars();
+        for &(v, s, t) in samples.iter().rev() {
+            backward.observe_exemplar(v, s, t);
+        }
+        assert_eq!(forward.exemplars(), backward.exemplars());
+        // Bucket 0 (le=10) keeps the 9-byte sample; the +Inf bucket
+        // (index 2) keeps the 500-byte one.
+        assert_eq!(
+            forward.exemplars(),
+            vec![
+                (
+                    0,
+                    Exemplar {
+                        value: 9,
+                        session: 2,
+                        tick: 20
+                    }
+                ),
+                (
+                    2,
+                    Exemplar {
+                        value: 500,
+                        session: 4,
+                        tick: 40
+                    }
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn exemplar_value_ties_break_toward_smallest_session_then_tick() {
+        let h = Histogram::with_bounds(&[10]);
+        h.enable_exemplars();
+        h.observe_exemplar(7, 9, 1);
+        h.observe_exemplar(7, 3, 8);
+        h.observe_exemplar(7, 3, 2);
+        assert_eq!(
+            h.exemplars(),
+            vec![(
+                0,
+                Exemplar {
+                    value: 7,
+                    session: 3,
+                    tick: 2
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn plain_histograms_capture_and_expose_nothing() {
+        let reg = Registry::new();
+        let h = reg.histogram("vqoe_test_sizes", "s", MetricClass::Stable, &[10]);
+        h.observe_exemplar(5, 1, 1);
+        assert!(h.exemplars().is_empty());
+        assert!(!reg.snapshot_json().contains("exemplars"));
+        assert!(!reg.render_prometheus().contains(" # {"));
+    }
+
+    #[test]
+    fn exemplar_snapshot_round_trips_through_absorb() {
+        let reg = Registry::new();
+        let h = reg.histogram_with_exemplars("vqoe_test_sizes", "s", MetricClass::Stable, &[10]);
+        h.observe_exemplar(5, 11, 100);
+        h.observe_exemplar(5_000, 12, 200);
+        let saved = reg.snapshot_json();
+        assert!(saved.contains("\"exemplars\": [[0, 5, 11, 100], [1, 5000, 12, 200]]"));
+
+        let fresh = Registry::new();
+        // Registered *without* exemplars: absorb re-enables capture so
+        // the round trip is byte-identical.
+        let h2 = fresh.histogram("vqoe_test_sizes", "s", MetricClass::Stable, &[10]);
+        fresh.absorb_snapshot(&saved).expect("snapshot parses");
+        assert!(h2.exemplars_enabled());
+        assert_eq!(fresh.snapshot_json(), saved);
+    }
+
+    #[test]
+    fn exemplars_render_in_prometheus_exemplar_syntax() {
+        let reg = Registry::new();
+        let h = reg.histogram_with_exemplars("vqoe_test_sizes", "s", MetricClass::Stable, &[10]);
+        h.observe_exemplar(7, 42, 1_000);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("vqoe_test_sizes_bucket{le=\"10\"} 1 # {session=\"42\",tick=\"1000\"} 7"),
+            "missing exemplar suffix in:\n{text}"
+        );
+    }
+
+    #[test]
+    fn describe_lists_every_metric_in_name_order() {
+        let reg = populated();
+        reg.counter("vqoe_test_runtime_total", "r", MetricClass::Runtime);
+        let descs = reg.describe();
+        let names: Vec<&str> = descs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "vqoe_test_events_total",
+                "vqoe_test_open",
+                "vqoe_test_runtime_total",
+                "vqoe_test_sizes"
+            ]
+        );
+        assert_eq!(descs[0].kind, "counter");
+        assert_eq!(descs[1].kind, "gauge");
+        assert_eq!(descs[2].class, MetricClass::Runtime);
+        assert_eq!(descs[3].kind, "histogram");
+        assert_eq!(descs[0].help, "e");
     }
 }

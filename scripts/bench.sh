@@ -17,6 +17,8 @@
 #   BENCH_pr7.json               machine-readable record (shed_rate, tiers)
 #   results/ingest-bench.txt     binary vs JSONL replay report
 #   BENCH_pr8.json               machine-readable record (replay_speedup)
+#   results/trace-overhead.txt   session-tracing cost report
+#   BENCH_pr9.json               machine-readable record (overhead_pct)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,6 +65,13 @@ echo "==> repro ingest-bench (quick mode)"
 
 echo "==> BENCH_pr8.json"
 cat BENCH_pr8.json
+
+echo "==> repro trace-overhead (quick mode)"
+./target/release/repro trace-overhead --smoke \
+  --bench-json BENCH_pr9.json --out results
+
+echo "==> BENCH_pr9.json"
+cat BENCH_pr9.json
 
 if [[ "$FULL" == "1" ]]; then
   echo "==> cargo bench -p vqoe-bench (Criterion)"

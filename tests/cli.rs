@@ -181,6 +181,26 @@ fn help_exits_zero() {
 }
 
 #[test]
+fn metrics_doc_is_current() {
+    // docs/METRICS.md is generated output: `vqoe metrics-doc` must
+    // reproduce the committed file byte for byte. On drift, regenerate
+    // with `vqoe metrics-doc --out docs/METRICS.md`.
+    let out = vqoe().arg("metrics-doc").output().expect("spawn vqoe");
+    assert!(
+        out.status.success(),
+        "vqoe metrics-doc failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let generated = String::from_utf8(out.stdout).expect("metrics-doc emits UTF-8");
+    let committed_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/METRICS.md");
+    let committed = std::fs::read_to_string(committed_path).expect("read docs/METRICS.md");
+    assert_eq!(
+        generated, committed,
+        "docs/METRICS.md is stale; regenerate with `vqoe metrics-doc --out docs/METRICS.md`"
+    );
+}
+
+#[test]
 fn corpus_pack_unpack_round_trips_and_assess_sniffs_both() {
     let dir = workdir("corpus");
     run(

@@ -155,6 +155,33 @@ fn anomaly_kind_counts_merge_by_summation() {
     assert_eq!(a.total(), 13);
 }
 
+#[test]
+fn absorb_snapshot_restores_stable_metrics_and_resets_runtime_ones() {
+    use vqoe_obs::MetricClass;
+    // A checkpointed process had both classes populated ...
+    let registry = Registry::new();
+    let stable = registry.counter("it_stable_total", "stable counter", MetricClass::Stable);
+    let runtime = registry.counter("it_runtime_total", "runtime counter", MetricClass::Runtime);
+    stable.add(42);
+    runtime.add(7);
+    let snapshot = registry.snapshot_json();
+
+    // ... but the snapshot carries Stable state only, so a restoring
+    // process gets its Stable counters back and its Runtime counters
+    // fresh — scheduling-dependent readings never survive a restart.
+    let restored = Registry::new();
+    let stable2 = restored.counter("it_stable_total", "stable counter", MetricClass::Stable);
+    let runtime2 = restored.counter("it_runtime_total", "runtime counter", MetricClass::Runtime);
+    runtime2.add(3);
+    restored
+        .absorb_snapshot(&snapshot)
+        .expect("snapshot absorbs");
+    assert_eq!(stable2.get(), 42, "stable counter not restored");
+    assert_eq!(runtime2.get(), 3, "absorb touched a runtime-class counter");
+    // Round-trip check: the restored registry snapshots byte-identically.
+    assert_eq!(restored.snapshot_json(), snapshot);
+}
+
 // ------------------------------------------------------------ CLI side
 
 fn vqoe() -> Command {
@@ -335,10 +362,13 @@ fn cli_metrics_flag_emits_both_formats_and_is_worker_invariant() {
         }
     }
 
-    // `--metrics -` streams both formats to stdout instead.
+    // `--metrics -` streams both formats through the stderr reporter;
+    // stdout stays reserved for data, so piping it to another tool
+    // never interleaves scrape text into the data stream.
     let dashed = assess_with_metrics("-", &[]);
-    assert!(dashed.stdout.contains("# TYPE"));
-    assert!(dashed.stdout.contains("\"counters\""));
+    assert!(dashed.stdout.is_empty(), "stdout: {}", dashed.stdout);
+    assert!(dashed.stderr.contains("# TYPE"));
+    assert!(dashed.stderr.contains("\"counters\""));
     assert!(!dashed.stderr.contains("metrics written to"));
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -434,6 +434,69 @@ fn flood_survives_within_budget_with_typed_shedding() {
 }
 
 #[test]
+fn shed_reason_counts_round_trip_through_the_metrics_registry() {
+    // Every typed shed reason the flood provokes must be mirrored
+    // one-for-one by its per-reason Stable counter, at several shard
+    // layouts — the counters are the shed log, not a parallel tally.
+    let legit = multi_subscriber_tap(2, 1, 2718);
+    let start = legit.first().map(|e| e.timestamp).unwrap_or(Instant(0));
+    let flood = generate_subscriber_flood(
+        &FloodSpec {
+            subscribers: 20,
+            ..FloodSpec::default()
+        },
+        start,
+        2719,
+    );
+    let entries = merge_streams(vec![legit, flood]);
+    let per_record = entries
+        .iter()
+        .map(|e| e.tracked_cost())
+        .max()
+        .unwrap_or(256);
+    let budget = BudgetConfig {
+        per_subscriber_bytes: 16 * per_record,
+        global_bytes: 48 * per_record,
+        admission: AdmissionPolicy::ShedColdest,
+    };
+    let mut reference = None;
+    for shards in [1usize, 2, 7] {
+        let registry = Registry::new();
+        let metrics = PipelineMetrics::register(&registry);
+        let mut online = OnlineAssessor::with_engine(
+            monitor().clone(),
+            IngestConfig::default(),
+            EngineConfig {
+                shards,
+                ..EngineConfig::default()
+            },
+        )
+        .with_budget(budget)
+        .with_metrics(metrics.clone());
+        for e in &entries {
+            online.ingest(e);
+        }
+        let reasons_from_metrics = metrics.shed_reasons_view();
+        let report = online.into_report();
+        assert!(report.shed.total() > 0, "the flood must force shedding");
+        assert_eq!(
+            reasons_from_metrics,
+            report.shed.reasons(),
+            "per-reason counters diverged from the shed log at {shards} shards"
+        );
+        // The shed pattern itself is shard-layout-invariant, so the
+        // counters must be too.
+        match &reference {
+            None => reference = Some(reasons_from_metrics),
+            Some(r) => assert_eq!(
+                &reasons_from_metrics, r,
+                "shed reasons diverged at {shards} shards"
+            ),
+        }
+    }
+}
+
+#[test]
 fn admission_refuse_blocks_newcomers_but_counts_them() {
     let t0 = Instant::from_secs(1);
     let cost = media_entry(1, t0, 500_000, 0.04).tracked_cost();
