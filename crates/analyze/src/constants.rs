@@ -236,6 +236,32 @@ const GROUPS: &[Group] = &[
             },
         ],
     },
+    Group {
+        what: "streaming quantile-sketch compactor capacity (§15, 64)",
+        sites: &[
+            Site {
+                file: "crates/stats/src/sketch.rs",
+                extract: Extract::NumberAfter("SKETCH_CAPACITY: usize = "),
+            },
+            Site {
+                file: "DESIGN.md",
+                extract: Extract::NumberAfter("sketch compactor capacity: "),
+            },
+        ],
+    },
+    Group {
+        what: "per-session exact-entry cap before spilling (§15, 4096)",
+        sites: &[
+            Site {
+                file: "crates/telemetry/src/reassembly.rs",
+                extract: Extract::NumberAfter("EXACT_ENTRY_CAP: usize = "),
+            },
+            Site {
+                file: "DESIGN.md",
+                extract: Extract::NumberAfter("exact-entry cap: "),
+            },
+        ],
+    },
 ];
 
 /// Run the constant-consistency pass over the workspace at `root`.

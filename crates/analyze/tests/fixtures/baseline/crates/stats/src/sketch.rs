@@ -1,0 +1,2 @@
+// Fixture: streaming quantile-sketch capacity mirrored into DESIGN.md.
+pub const SKETCH_CAPACITY: usize = 64;

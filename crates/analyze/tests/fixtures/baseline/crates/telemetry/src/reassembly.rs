@@ -1,0 +1,2 @@
+// Fixture: per-session exactness cap mirrored into DESIGN.md.
+pub const EXACT_ENTRY_CAP: usize = 4096;

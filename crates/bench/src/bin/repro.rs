@@ -12,9 +12,9 @@
 use std::io::Write;
 use vqoe_bench::experiments::{
     abr_comparison, engine_scaling_with, ingest_bench_with, obs_overhead_with, overload_sweep_with,
-    run_experiment, trace_overhead_with, train_scaling_with, EngineScalingConfig,
-    IngestBenchConfig, ObsOverheadConfig, OverloadSweepConfig, TraceOverheadConfig,
-    TrainScalingConfig, EXPERIMENTS,
+    run_experiment, subscriber_scaling_with, trace_overhead_with, train_scaling_with,
+    EngineScalingConfig, IngestBenchConfig, ObsOverheadConfig, OverloadSweepConfig,
+    SubscriberScalingConfig, TraceOverheadConfig, TrainScalingConfig, EXPERIMENTS,
 };
 use vqoe_bench::{ReproContext, ReproScale};
 
@@ -24,6 +24,7 @@ fn main() {
     let mut scale = ReproScale::default();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut bench_json: Option<std::path::PathBuf> = None;
+    let mut smoke = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -60,6 +61,7 @@ fn main() {
                 );
             }
             "--smoke" => {
+                smoke = true;
                 scale = ReproScale {
                     seed: scale.seed,
                     ..ReproScale::smoke()
@@ -128,6 +130,19 @@ fn main() {
             txt
         } else if id == "trace-overhead" {
             let (txt, json) = trace_overhead_with(&ctx, TraceOverheadConfig::quick());
+            if let Some(path) = &bench_json {
+                std::fs::write(path, json).expect("write --bench-json file");
+            }
+            txt
+        } else if id == "subscriber-scaling" {
+            // The full 100k-1M ladder takes minutes; --smoke runs the
+            // single 10k point scripts/check.sh gates on.
+            let cfg = if smoke {
+                SubscriberScalingConfig::smoke()
+            } else {
+                SubscriberScalingConfig::quick()
+            };
+            let (txt, json) = subscriber_scaling_with(&ctx, cfg);
             if let Some(path) = &bench_json {
                 std::fs::write(path, json).expect("write --bench-json file");
             }

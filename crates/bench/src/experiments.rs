@@ -16,7 +16,7 @@ use vqoe_player::{AbrKind, ContentType, SessionTrace};
 use vqoe_stats::Ecdf;
 
 /// All experiment identifiers, in paper order.
-pub const EXPERIMENTS: [&str; 30] = [
+pub const EXPERIMENTS: [&str; 31] = [
     "tab1",
     "fig1",
     "fig2",
@@ -47,6 +47,7 @@ pub const EXPERIMENTS: [&str; 30] = [
     "train-scaling",
     "ingest-bench",
     "trace-overhead",
+    "subscriber-scaling",
 ];
 
 /// Run one experiment by id. Unknown ids return an error string listing
@@ -83,6 +84,7 @@ pub fn run_experiment(id: &str, ctx: &ReproContext) -> String {
         "train-scaling" => train_scaling(ctx),
         "ingest-bench" => ingest_bench(ctx),
         "trace-overhead" => trace_overhead(ctx),
+        "subscriber-scaling" => subscriber_scaling(ctx),
         other => format!(
             "unknown experiment '{other}'. known: {}\n",
             EXPERIMENTS.join(", ")
@@ -2582,6 +2584,303 @@ pub fn ingest_bench_with(ctx: &ReproContext, cfg: IngestBenchConfig) -> (String,
 
 fn ingest_bench(ctx: &ReproContext) -> String {
     ingest_bench_with(ctx, IngestBenchConfig::quick()).0
+}
+
+// -------------------------------------------------- subscriber-scaling
+
+/// Workload knobs for [`subscriber_scaling_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriberScalingConfig {
+    /// Concurrent-subscriber ladder; one measured point each.
+    pub subscriber_counts: Vec<usize>,
+    /// Exactness cap forced onto the reassembler. The production
+    /// default (`vqoe_telemetry::EXACT_ENTRY_CAP` = 4096) is deliberate
+    /// headroom; the harness pins it low so the long cohort actually
+    /// exercises the sketch-spill path.
+    pub exact_entry_cap: usize,
+    /// Media chunks in a short (under-cap, exact) session.
+    pub short_chunks: usize,
+    /// Media chunks in a long (spilling, sketched) session.
+    pub long_chunks: usize,
+    /// Every `long_every`-th subscriber plays a long session.
+    pub long_every: usize,
+}
+
+impl SubscriberScalingConfig {
+    /// The 100k–1M ladder `scripts/bench.sh` records (`BENCH_pr10.json`).
+    pub fn quick() -> Self {
+        SubscriberScalingConfig {
+            subscriber_counts: vec![100_000, 300_000, 1_000_000],
+            exact_entry_cap: 64,
+            short_chunks: 4,
+            long_chunks: 512,
+            long_every: 64,
+        }
+    }
+
+    /// The 10k single point `scripts/check.sh` runs behind the soak
+    /// gate (also what `repro subscriber-scaling --smoke` uses).
+    pub fn smoke() -> Self {
+        SubscriberScalingConfig {
+            subscriber_counts: vec![10_000],
+            ..SubscriberScalingConfig::quick()
+        }
+    }
+}
+
+/// One measured ladder point of [`subscriber_scaling_with`].
+struct ScalePoint {
+    subscribers: usize,
+    entries: u64,
+    sessions: usize,
+    elapsed_secs: f64,
+    bytes_per_subscriber: u64,
+    sketched: usize,
+    partial: usize,
+    evicted: u64,
+    shed: u64,
+}
+
+/// Concurrent-subscriber scaling of the streaming [`OnlineAssessor`].
+///
+/// Every ladder point opens `n` subscribers *simultaneously*: chunks
+/// arrive in 2-second waves, round-robin across subscribers, so at the
+/// peak all `n` per-subscriber machines are live at once. A fixed
+/// fraction of subscribers (1 in `long_every`) plays a session far past
+/// the exactness cap — those cross into the ISSUE-10 streaming-digest
+/// path and come back `Fidelity::Sketched`; everyone else stays exact.
+///
+/// Reported per point: sessions/sec (ingest + final drain), peak
+/// tracked bytes per subscriber (the memory-bound headline — must stay
+/// flat as `n` grows 10x, because per-subscriber state is O(1) in both
+/// subscriber count and session length), and the sketch-spill /
+/// eviction / partial rates. The counterfactual buffered cost of one
+/// long session is printed alongside: past the cap the buffered path
+/// grows linearly with session length while the streaming path is the
+/// pinned constant (`SPILL_STATE_COST_BYTES` + the capped prefix).
+///
+/// [`OnlineAssessor`]: vqoe_core::OnlineAssessor
+pub fn subscriber_scaling_with(
+    ctx: &ReproContext,
+    cfg: SubscriberScalingConfig,
+) -> (String, String) {
+    use vqoe_core::{Fidelity, OnlineAssessor, QoeMonitor};
+    use vqoe_player::TransportSummary;
+    use vqoe_simnet::time::{Duration as SimDuration, Instant as SimInstant};
+    use vqoe_telemetry::{EntryKind, IngestConfig, ReassemblyConfig, WeblogEntry};
+
+    let wave_micros: u64 = 2_000_000; // one chunk per subscriber every 2 s
+    let entry = |s: u64, k: usize| -> WeblogEntry {
+        WeblogEntry {
+            // Waves are 2 s apart per subscriber; the sub-millisecond
+            // stagger spreads a wave across subscribers without ever
+            // reordering any single subscriber's stream.
+            timestamp: SimInstant(k as u64 * wave_micros + (s % 997) * 1_000),
+            subscriber_id: s,
+            host: "r7---sn-scale.googlevideo.com".to_string(),
+            uri: None,
+            bytes: 200_000 + ((s + k as u64) % 7) * 10_000,
+            duration: SimDuration::from_millis(400 + (k as u64 % 5) * 40),
+            transport: TransportSummary {
+                rtt_min: 0.020,
+                rtt_mean: 0.035,
+                rtt_max: 0.060,
+                bdp_mean: 80_000.0,
+                bif_mean: 30_000.0,
+                bif_max: 60_000.0,
+                loss_frac: 0.002,
+                retx_frac: 0.004,
+            },
+            encrypted: true,
+            kind: EntryKind::MediaChunk,
+        }
+    };
+
+    let mut points: Vec<ScalePoint> = Vec::new();
+    for &n in &cfg.subscriber_counts {
+        let monitor = QoeMonitor {
+            stall_model: ctx.stall.model.clone(),
+            representation_model: ctx.representation.model.clone(),
+            switch_model: ctx.switch.model,
+            reassembly: ReassemblyConfig {
+                exact_entry_cap: cfg.exact_entry_cap,
+                ..ReassemblyConfig::default()
+            },
+        };
+        let ingest_cfg = IngestConfig {
+            max_open_subscribers: n,
+            ..IngestConfig::default()
+        };
+        let mut online = OnlineAssessor::with_config(monitor, ingest_cfg);
+        let t0 = std::time::Instant::now();
+        let mut entries_fed = 0u64;
+        let mut tally = (0usize, 0usize, 0usize); // (sessions, sketched, partial)
+        let fold = |assessments: Vec<vqoe_core::SessionAssessment>,
+                    t: &mut (usize, usize, usize)| {
+            for a in assessments {
+                t.0 += 1;
+                if a.fidelity == Fidelity::Sketched {
+                    t.1 += 1;
+                }
+                if a.partial {
+                    t.2 += 1;
+                }
+            }
+        };
+        for k in 0..cfg.long_chunks {
+            if k < cfg.short_chunks {
+                for s in 0..n as u64 {
+                    fold(online.ingest(&entry(s, k)), &mut tally);
+                    entries_fed += 1;
+                }
+            } else {
+                // Only the long cohort is still playing.
+                for s in (0..n as u64).step_by(cfg.long_every) {
+                    fold(online.ingest(&entry(s, k)), &mut tally);
+                    entries_fed += 1;
+                }
+            }
+        }
+        let peak = online.peak_tracked_bytes();
+        let report = online.into_report();
+        fold(report.assessments, &mut tally);
+        let elapsed = t0.elapsed().as_secs_f64();
+        points.push(ScalePoint {
+            subscribers: n,
+            entries: entries_fed,
+            sessions: tally.0,
+            elapsed_secs: elapsed,
+            bytes_per_subscriber: peak / n.max(1) as u64,
+            sketched: tally.1,
+            partial: tally.2,
+            evicted: report.health.sessions_evicted,
+            shed: report.health.sessions_shed,
+        });
+    }
+
+    // The counterfactual: what one long session would have cost the
+    // budget had every chunk stayed buffered, vs the streaming bound.
+    let per_entry = entry(0, 0).tracked_cost();
+    let buffered_long = cfg.long_chunks as u64 * per_entry;
+    let streaming_long =
+        cfg.exact_entry_cap as u64 * per_entry + vqoe_telemetry::SPILL_STATE_COST_BYTES;
+
+    let flatness = {
+        let bpses: Vec<u64> = points.iter().map(|p| p.bytes_per_subscriber).collect();
+        let max = bpses.iter().copied().max().unwrap_or(1).max(1);
+        let min = bpses.iter().copied().min().unwrap_or(1).max(1);
+        max as f64 / min as f64
+    };
+
+    let mut out = header(
+        "subscriber-scaling",
+        "streaming per-subscriber state at 100k-1M concurrent subscribers",
+    );
+    out.push_str(&format!(
+        "every point holds all subscribers open at once; 1 in {} plays a\n\
+         {}-chunk session past the exactness cap ({}) and degrades to the\n\
+         sketched tier; the rest stay exact at {} chunks\n\n",
+        cfg.long_every, cfg.long_chunks, cfg.exact_entry_cap, cfg.short_chunks,
+    ));
+    let mut t = Table::new(vec![
+        "subscribers",
+        "entries",
+        "sessions",
+        "sessions/sec",
+        "bytes/subscriber",
+        "sketched %",
+        "evicted",
+        "partial %",
+    ]);
+    for p in &points {
+        t.row(vec![
+            format!("{}", p.subscribers),
+            format!("{}", p.entries),
+            format!("{}", p.sessions),
+            format!("{:.0}", p.sessions as f64 / p.elapsed_secs.max(1e-9)),
+            format!("{}", p.bytes_per_subscriber),
+            format!(
+                "{:.2}",
+                100.0 * p.sketched as f64 / p.sessions.max(1) as f64
+            ),
+            format!("{}", p.evicted + p.shed),
+            format!("{:.2}", 100.0 * p.partial as f64 / p.sessions.max(1) as f64),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(&format!(
+        "one {}-chunk session, per-subscriber budget cost:\n  \
+         buffered path (pre-ISSUE-10): {} bytes (grows with session length)\n  \
+         streaming path:              {} bytes (constant for any length)\n\n",
+        cfg.long_chunks, buffered_long, streaming_long,
+    ));
+    out.push_str(&compare_line(
+        "bytes/subscriber flatness across the ladder (max/min)",
+        "<= 1.15x",
+        &format!("{flatness:.3}x"),
+    ));
+    let expected_sketched = 100.0 / cfg.long_every as f64;
+    let last = points.last().expect("at least one ladder point");
+    out.push_str(&compare_line(
+        "sketched-session rate at the largest point",
+        &format!("~{expected_sketched:.2}%"),
+        &format!(
+            "{:.2}%",
+            100.0 * last.sketched as f64 / last.sessions.max(1) as f64
+        ),
+    ));
+    out.push_str(&compare_line(
+        "sessions assessed at the largest point",
+        &format!("{}", last.subscribers),
+        &format!("{}", last.sessions),
+    ));
+    out.push_str(
+        "\nper-subscriber state is O(1) in both subscriber count and session\n\
+         length: under the cap sessions buffer exactly (bit-identical to the\n\
+         batch path), past it they fold into fixed-size moments + quantile\n\
+         sketches and surface as Fidelity::Sketched.\n",
+    );
+
+    let json_points: String = points
+        .iter()
+        .map(|p| {
+            format!(
+                "\n    {{\"subscribers\": {}, \"entries\": {}, \"sessions\": {}, \
+                 \"sessions_per_sec\": {:.1}, \"bytes_per_subscriber\": {}, \
+                 \"sketched\": {}, \"partial\": {}, \"evicted\": {}, \"shed\": {}}}",
+                p.subscribers,
+                p.entries,
+                p.sessions,
+                p.sessions as f64 / p.elapsed_secs.max(1e-9),
+                p.bytes_per_subscriber,
+                p.sketched,
+                p.partial,
+                p.evicted,
+                p.shed,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\n  \"experiment\": \"subscriber-scaling\",\n  \
+         \"exact_entry_cap\": {},\n  \"short_chunks\": {},\n  \
+         \"long_chunks\": {},\n  \"long_every\": {},\n  \
+         \"buffered_long_session_bytes\": {buffered_long},\n  \
+         \"streaming_long_session_bytes\": {streaming_long},\n  \
+         \"bytes_per_subscriber_flatness\": {flatness:.4},\n  \
+         \"points\": [{json_points}\n  ]\n}}\n",
+        cfg.exact_entry_cap, cfg.short_chunks, cfg.long_chunks, cfg.long_every,
+    );
+    (out, json)
+}
+
+/// `run_experiment` form: the 10k smoke point, so `repro all` and the
+/// render test stay fast; `scripts/bench.sh` calls
+/// [`subscriber_scaling_with`] on the full [`SubscriberScalingConfig::quick`]
+/// ladder.
+fn subscriber_scaling(ctx: &ReproContext) -> String {
+    subscriber_scaling_with(ctx, SubscriberScalingConfig::smoke()).0
 }
 
 #[cfg(test)]

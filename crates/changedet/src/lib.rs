@@ -15,15 +15,19 @@
 //!
 //! Modules: [`cusum`] implements the control chart; [`detector`] the
 //! session-scoring pipeline (start-up filtering, Δsize × Δt series,
-//! scoring, thresholding and threshold calibration).
+//! scoring, thresholding and threshold calibration); [`streaming`] the
+//! bounded-memory one-pass variant of the session score used by the
+//! `Fidelity::Sketched` assessment tier (ISSUE 10).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cusum;
 pub mod detector;
+pub mod streaming;
 
 pub use cusum::{cusum_series, drift_alarm, CusumConfig};
 pub use detector::{
     calibrate_threshold, delta_product_series, session_score, SwitchDetector, SwitchScoreConfig,
 };
+pub use streaming::{StreamingSwitchScore, SWITCH_PREFIX_CAP};

@@ -1,0 +1,308 @@
+//! A streaming, bounded-memory variant of the §4.3 session score.
+//!
+//! The batch pipeline ([`crate::detector::session_score`]) needs the
+//! whole `Δsize × Δt` series before it can score: the CUSUM reference
+//! level μ and allowance κ are statistics *of the complete series*. That
+//! is exactly what the streaming assessment path (ISSUE 10) cannot
+//! afford — a per-subscriber machine must hold O(1) state no matter how
+//! long the session runs.
+//!
+//! [`StreamingSwitchScore`] trades a bounded prefix buffer for that
+//! global view:
+//!
+//! * While the session is short (≤ [`SWITCH_PREFIX_CAP`] delta-product
+//!   values), the values are buffered verbatim and [`score`] computes
+//!   the **exact** batch score — identical f64-for-f64 to
+//!   [`crate::detector::session_score`] on the same points.
+//! * The first value past the cap **freezes** μ and κ from the buffered
+//!   prefix, replays the prefix through the two-sided CUSUM recurrence,
+//!   and from then on folds each new value in O(1): the recurrence
+//!   state `(S⁺, S⁻)` plus an [`OnlineMoments`] over the outputs. The
+//!   score is the running population standard deviation of the outputs
+//!   — an approximation whose reference level is estimated from the
+//!   first `SWITCH_PREFIX_CAP` post-startup chunk pairs instead of the
+//!   full session.
+//!
+//! Sessions long enough to spill are surfaced downstream as
+//! `Fidelity::Sketched`, the declared lower-fidelity tier; the frozen-μ
+//! approximation is part of that tier's pinned-tolerance contract (see
+//! DESIGN.md §15). Everything here is deterministic: no RNG, no clocks,
+//! byte-stable state for checkpointing.
+//!
+//! [`score`]: StreamingSwitchScore::score
+//! [`OnlineMoments`]: vqoe_stats::OnlineMoments
+
+use crate::cusum::cusum_series;
+use crate::detector::SwitchScoreConfig;
+use serde::{Deserialize, Serialize};
+use vqoe_stats::OnlineMoments;
+
+/// Delta-product values buffered exactly before the reference level is
+/// frozen. 256 pairs ≈ the first 8–20 minutes of a typical session —
+/// comfortably past the start-up transient the reference is supposed to
+/// describe — while bounding the buffer at 2 KiB per spilled session.
+pub const SWITCH_PREFIX_CAP: usize = 256;
+
+/// Streaming state of one session's switch score (see module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingSwitchScore {
+    config: SwitchScoreConfig,
+    /// Arrival time of the session's very first point (pre-filter
+    /// anchor for the start-up window).
+    t0: Option<f64>,
+    /// Last point that survived the start-up filter.
+    prev_t: Option<f64>,
+    prev_size: f64,
+    /// Points that survived the start-up filter so far.
+    survivors: u64,
+    /// Exact delta-product prefix (drained at freeze time).
+    prefix: Vec<f64>,
+    /// Frozen reference level and allowance; meaningless until `frozen`.
+    frozen: bool,
+    mu: f64,
+    kappa: f64,
+    /// CUSUM recurrence state (post-freeze).
+    s_pos: f64,
+    s_neg: f64,
+    /// Moments of the CUSUM outputs (post-freeze).
+    outputs: OnlineMoments,
+}
+
+impl Default for StreamingSwitchScore {
+    fn default() -> Self {
+        StreamingSwitchScore::new(SwitchScoreConfig::default())
+    }
+}
+
+impl StreamingSwitchScore {
+    /// Fresh state scoring under `config`.
+    pub fn new(config: SwitchScoreConfig) -> Self {
+        StreamingSwitchScore {
+            config,
+            t0: None,
+            prev_t: None,
+            prev_size: 0.0,
+            survivors: 0,
+            prefix: Vec::new(),
+            frozen: false,
+            mu: 0.0,
+            kappa: 0.0,
+            s_pos: 0.0,
+            s_neg: 0.0,
+            outputs: OnlineMoments::new(),
+        }
+    }
+
+    /// Fold in one chunk point `(arrival_secs, size_bytes)` — the same
+    /// shape [`crate::detector::session_score`] consumes, one point at
+    /// a time.
+    pub fn fold(&mut self, arrival_secs: f64, size_bytes: f64) {
+        let t0 = *self.t0.get_or_insert(arrival_secs);
+        if arrival_secs < t0 + self.config.startup_filter_secs {
+            return;
+        }
+        if let Some(prev_t) = self.prev_t {
+            let dt = (arrival_secs - prev_t).max(0.0);
+            let dsize = (size_bytes - self.prev_size).abs() / self.config.size_unit_bytes;
+            self.push_value(dsize * dt);
+        }
+        self.prev_t = Some(arrival_secs);
+        self.prev_size = size_bytes;
+        self.survivors += 1;
+    }
+
+    /// Chunk points that survived the start-up filter.
+    pub fn survivors(&self) -> u64 {
+        self.survivors
+    }
+
+    /// True once the reference level has been frozen (the session is
+    /// past the exact prefix and the score is approximate).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    fn push_value(&mut self, v: f64) {
+        if self.frozen {
+            self.step(v);
+            return;
+        }
+        self.prefix.push(v);
+        if self.prefix.len() > SWITCH_PREFIX_CAP {
+            self.freeze();
+        }
+    }
+
+    /// Freeze μ and κ from the buffered prefix and replay it through the
+    /// recurrence, releasing the buffer.
+    fn freeze(&mut self) {
+        let finite: Vec<f64> = self
+            .prefix
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        self.mu = self
+            .config
+            .cusum
+            .reference
+            .unwrap_or_else(|| vqoe_stats::moments::mean(&finite));
+        self.kappa =
+            self.config.cusum.allowance_sigmas * vqoe_stats::moments::population_std(&finite);
+        self.frozen = true;
+        for v in std::mem::take(&mut self.prefix) {
+            self.step(v);
+        }
+    }
+
+    /// One two-sided CUSUM step, identical to the recurrence inside
+    /// [`cusum_series`].
+    fn step(&mut self, x: f64) {
+        let dev = if x.is_finite() { x - self.mu } else { 0.0 };
+        self.s_pos = (self.s_pos + dev - self.kappa).max(0.0);
+        self.s_neg = (self.s_neg - dev - self.kappa).max(0.0);
+        self.outputs.push(self.s_pos + self.s_neg);
+    }
+
+    /// The session score so far: `σ(CUSUM(Δsize × Δt))`.
+    ///
+    /// Below three surviving chunks the score is `0.0` (too short to
+    /// score — same convention as the batch path). While unfrozen the
+    /// result equals [`crate::detector::session_score`] exactly; after
+    /// freezing it is the pinned-tolerance approximation.
+    pub fn score(&self) -> f64 {
+        if self.survivors < 3 {
+            return 0.0;
+        }
+        if !self.frozen {
+            let out = cusum_series(&self.prefix, self.config.cusum);
+            return vqoe_stats::moments::population_std(&out);
+        }
+        self.outputs.std_dev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::session_score;
+
+    fn fold_all(points: &[(f64, f64)]) -> StreamingSwitchScore {
+        let mut s = StreamingSwitchScore::default();
+        for &(t, size) in points {
+            s.fold(t, size);
+        }
+        s
+    }
+
+    fn synthetic(n: usize, switch_at: usize) -> Vec<(f64, f64)> {
+        let mut t = 0.0;
+        (0..n)
+            .map(|i| {
+                let (size, dt) = if i < switch_at {
+                    (100_000.0 + (i % 3) as f64 * 1_500.0, 2.0)
+                } else {
+                    (450_000.0 + (i % 5) as f64 * 3_000.0, 5.0)
+                };
+                let p = (t, size);
+                t += dt;
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn short_sessions_score_zero_like_batch() {
+        let points = [(0.0, 1_000.0), (20.0, 2_000.0)];
+        let s = fold_all(&points);
+        assert_eq!(s.score(), 0.0);
+        assert_eq!(
+            s.score(),
+            session_score(&points, &SwitchScoreConfig::default())
+        );
+    }
+
+    #[test]
+    fn under_cap_score_is_exactly_the_batch_score() {
+        // Well under SWITCH_PREFIX_CAP pairs: the streaming score must be
+        // f64-identical to the batch pipeline, start-up filter included.
+        for &(n, at) in &[(30usize, 15usize), (80, 10), (120, 60)] {
+            let points = synthetic(n, at);
+            let s = fold_all(&points);
+            assert!(!s.is_frozen());
+            let exact = session_score(&points, &SwitchScoreConfig::default());
+            assert_eq!(s.score(), exact, "n={n} switch_at={at}");
+        }
+    }
+
+    #[test]
+    fn over_cap_score_preserves_detection_not_magnitude() {
+        // Long sessions, frozen-μ approximation. On a *steady* session
+        // the frozen reference is an excellent estimate of the full-
+        // series one, so the score stays within a pinned 25% band of
+        // exact. On a *switching* session the frozen (pre-switch)
+        // reference makes the chart strictly more sensitive than the
+        // batch pipeline — whose μ absorbs the post-switch regime — so
+        // the contract is detection agreement, not magnitude: the
+        // streaming score must sit on the same side of any threshold
+        // separating the two populations, with at least the batch
+        // path's separation.
+        let n = SWITCH_PREFIX_CAP + 400;
+        let switching = synthetic(n, n / 2);
+        let steady = synthetic(n, n + 1);
+        let s_switch = fold_all(&switching);
+        let s_steady = fold_all(&steady);
+        assert!(s_switch.is_frozen() && s_steady.is_frozen());
+
+        let exact_steady = session_score(&steady, &SwitchScoreConfig::default());
+        assert!(
+            (s_steady.score() - exact_steady).abs() <= 0.25 * exact_steady.abs().max(1.0),
+            "steady: approx {} vs exact {exact_steady}",
+            s_steady.score()
+        );
+
+        let exact_switch = session_score(&switching, &SwitchScoreConfig::default());
+        assert!(
+            s_switch.score() >= exact_switch,
+            "frozen reference must not dull the switch signal: approx {} vs exact {exact_switch}",
+            s_switch.score()
+        );
+        assert!(s_switch.score() > 10.0 * s_steady.score().max(1e-9));
+    }
+
+    #[test]
+    fn startup_filter_matches_batch_semantics() {
+        // Points inside the first 10 s are dropped by both paths.
+        let mut points = vec![(0.0, 1.0), (2.0, 9_999_999.0), (5.0, 1.0)];
+        points
+            .extend((0..40).map(|i| (12.0 + i as f64 * 2.0, 50_000.0 + (i % 2) as f64 * 40_000.0)));
+        let s = fold_all(&points);
+        assert_eq!(
+            s.score(),
+            session_score(&points, &SwitchScoreConfig::default())
+        );
+    }
+
+    #[test]
+    fn deterministic_and_serde_round_trips() {
+        let points = synthetic(SWITCH_PREFIX_CAP + 100, 80);
+        let a = fold_all(&points);
+        let b = fold_all(&points);
+        assert_eq!(a, b);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: StreamingSwitchScore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.score(), a.score());
+    }
+
+    #[test]
+    fn memory_stays_bounded_past_the_cap() {
+        let mut s = StreamingSwitchScore::default();
+        for i in 0..50_000u64 {
+            s.fold(i as f64 * 2.0, 100_000.0 + (i % 7) as f64 * 10_000.0);
+        }
+        assert!(s.is_frozen());
+        assert!(s.prefix.is_empty(), "prefix must drain at freeze");
+        assert!(s.score().is_finite());
+    }
+}

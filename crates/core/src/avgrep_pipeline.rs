@@ -37,7 +37,14 @@ impl RepresentationModel {
     /// Classify one session's average representation from its
     /// network-visible observations.
     pub fn predict(&self, obs: &SessionObs) -> RqClass {
-        let row = self.project(&representation_features(obs));
+        self.predict_from_features(&representation_features(obs))
+    }
+
+    /// Classify from an already-built 210-dim feature vector — exact
+    /// ([`representation_features`]) or approximate (the streaming
+    /// `Fidelity::Sketched` path).
+    pub fn predict_from_features(&self, full: &[f64]) -> RqClass {
+        let row = self.project(full);
         match self.forest.predict(&row) {
             0 => RqClass::Ld,
             1 => RqClass::Sd,

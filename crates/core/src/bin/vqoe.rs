@@ -595,6 +595,10 @@ fn assess(flags: &Flags) {
     write_jsonl(&out, assessments).unwrap_or_else(die(&out));
     write_span.finish();
     let poor = assessments.iter().filter(|a| a.qoe.is_poor()).count();
+    let sketched = assessments
+        .iter()
+        .filter(|a| a.fidelity == Fidelity::Sketched)
+        .count();
     let partial = assessments
         .iter()
         .filter(|a| a.fidelity == Fidelity::Partial)
@@ -604,9 +608,10 @@ fn assess(flags: &Flags) {
         .filter(|a| a.fidelity == Fidelity::Shed)
         .count();
     report_to.normal(&format!(
-        "assessed {} sessions ({} poor-QoE, {} partial, {} shed) -> {}",
+        "assessed {} sessions ({} poor-QoE, {} sketched, {} partial, {} shed) -> {}",
         assessments.len(),
         poor,
+        sketched,
         partial,
         shed_tier,
         out.display()

@@ -44,8 +44,9 @@ use vqoe_telemetry::{
     RobustReassembler, StreamHealth, WeblogEntry,
 };
 
+use crate::digest::{claim_digest, install_digest_sink, SessionDigest};
 use crate::metrics::PipelineMetrics;
-use crate::monitor::{QoeMonitor, SessionAssessment};
+use crate::monitor::{Fidelity, QoeMonitor, SessionAssessment};
 use crate::online::{IngestReport, ShedLog};
 use crate::subscribe::SubscriptionSet;
 
@@ -420,6 +421,7 @@ impl<'a> AssessmentEngine<'a> {
             .map(|m| StageSpan::start(&clock, &m.stage_ticks));
         for (&subscriber, subscriber_indices) in &per_subscriber {
             let mut machine = RobustReassembler::new(self.monitor.reassembly, self.ingest_cfg);
+            install_digest_sink(&mut machine, *self.monitor.switch_model.scoring());
             // Per-subscriber scratch log: its entries arrive in global
             // order, so its first `cap` records are exactly the
             // subscriber's candidates for the global first-`cap` set.
@@ -436,14 +438,29 @@ impl<'a> AssessmentEngine<'a> {
                 }
                 prev_kept = log.kept().len();
                 for (k, s) in sessions.iter().enumerate() {
+                    let digest = claim_digest(&mut machine, s);
                     let key = (0, g as u64, k as u32);
-                    let a = self.assess_one(subs, s, sink.as_mut().map(|t| (t, key, subscriber)));
+                    let a = self.assess_one(
+                        subs,
+                        s,
+                        digest.as_ref(),
+                        sink.as_mut().map(|t| (t, key, subscriber)),
+                    );
                     out.emissions.push((key, a));
                 }
             }
-            for (k, s) in machine.finish().iter().enumerate() {
+            // flush (not the consuming finish): the sealed digest of a
+            // spilled final session must still be claimable afterwards.
+            let final_sessions = machine.flush();
+            for (k, s) in final_sessions.iter().enumerate() {
+                let digest = claim_digest(&mut machine, s);
                 let key = (1, subscriber, k as u32);
-                let a = self.assess_one(subs, s, sink.as_mut().map(|t| (t, key, subscriber)));
+                let a = self.assess_one(
+                    subs,
+                    s,
+                    digest.as_ref(),
+                    sink.as_mut().map(|t| (t, key, subscriber)),
+                );
                 out.emissions.push((key, a));
             }
             out.anomaly_total += log.total();
@@ -545,21 +562,41 @@ impl<'a> AssessmentEngine<'a> {
         &self,
         subs: &SubscriptionSet<'_>,
         session: &ReassembledSession,
+        digest: Option<&SessionDigest>,
         trace: Option<(&mut TraceSink, EmissionKey, u64)>,
     ) -> SessionAssessment {
         let obs = SessionObs::from_reassembled(session);
         let view = SessionView::over(&obs, session);
-        let assessment = match trace {
-            None => subs.assess_session(view),
-            Some((sink, key, subscriber)) => {
+        // Mirrors the streaming path's tiering exactly (the engine ↔
+        // online byte-identity contract): a session whose chunks spilled
+        // past the exactness cap is `Sketched`, everything else `Full`.
+        let fidelity = if session.spilled_chunks > 0 {
+            Fidelity::Sketched
+        } else {
+            Fidelity::Full
+        };
+        let assessment = match (digest, trace) {
+            (None, None) => subs.assess_session(view),
+            (None, Some((sink, key, subscriber))) => {
                 let mut delivered: Vec<&'static str> = Vec::new();
                 let assessment = subs.assess_session_observed(view, |_, name| delivered.push(name));
                 record_session_spans(sink, key, subscriber, session, &delivered);
                 assessment
             }
-        };
+            (Some(d), trace) => {
+                let assessment = subs.assess_session_sketched(view, d);
+                if let Some((sink, key, subscriber)) = trace {
+                    record_session_spans(sink, key, subscriber, session, &subs.names());
+                }
+                assessment
+            }
+        }
+        .with_fidelity(fidelity);
         if let Some(m) = &self.metrics {
             m.observe_session(session, &assessment);
+            if session.spilled_chunks > 0 {
+                m.sessions_sketched.inc();
+            }
         }
         assessment
     }

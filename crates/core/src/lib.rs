@@ -52,7 +52,8 @@
 //! §5 encrypted-traffic evaluation), [`monitor`] (the deployable
 //! operator API), [`subscribe`] (the typed subscription ingest API:
 //! one pass, many detectors), [`engine`] (the sharded parallel
-//! assessment engine), [`online`] (the streaming path).
+//! assessment engine), [`online`] (the streaming path), [`digest`]
+//! (bounded-memory per-session digests behind the sketched tier).
 //!
 //! Downstream code that just wants "the monitor and friends" can
 //! `use vqoe_core::prelude::*;`.
@@ -63,6 +64,7 @@
 pub mod alerting;
 pub mod avgrep_pipeline;
 pub mod detector;
+pub mod digest;
 pub mod encrypted;
 pub mod engine;
 pub mod generate;
@@ -81,6 +83,7 @@ pub use alerting::{
 };
 pub use avgrep_pipeline::{RepresentationModel, RepresentationTrainingReport};
 pub use detector::{Detector, DetectorAccuracy};
+pub use digest::{claim_digest, install_digest_sink, DigestSink, SessionDigest};
 pub use encrypted::{EncryptedEvalConfig, EncryptedWorld};
 pub use engine::{shard_of, AssessmentEngine, EngineConfig};
 pub use generate::{generate_sequential_traces, generate_traces};

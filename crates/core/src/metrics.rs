@@ -69,6 +69,8 @@ pub struct PipelineMetrics {
     pub(crate) shed_admission_refused: Counter,
     pub(crate) open_subscribers: Gauge,
     pub(crate) tracked_bytes: Gauge,
+    pub(crate) bytes_per_subscriber: Gauge,
+    pub(crate) sessions_sketched: Counter,
     // Training.
     pub(crate) trees_fitted: Counter,
     pub(crate) cv_folds_skipped: Counter,
@@ -253,6 +255,15 @@ impl PipelineMetrics {
                 "vqoe_core_online_tracked_bytes",
                 "buffered bytes currently tracked by the online assessor (record-cost units)",
                 s,
+            ),
+            bytes_per_subscriber: registry.gauge(
+                "vqoe_core_online_bytes_per_subscriber",
+                "tracked bytes divided by tracked subscribers (record-cost units)",
+                s,
+            ),
+            sessions_sketched: counter(
+                "vqoe_core_online_sessions_sketched_total",
+                "sessions that spilled past the exactness cap and were assessed from streaming sketches",
             ),
             trees_fitted: counter(
                 "vqoe_core_train_trees_fitted_total",

@@ -193,6 +193,12 @@ pub enum Fidelity {
     /// tier, nothing was cut short.
     #[default]
     Full,
+    /// The session outgrew the per-subscriber exact-buffer cap and its
+    /// tail was folded into streaming sketches: every chunk was *seen*,
+    /// but the assessment ran on approximate (pinned-tolerance) feature
+    /// vectors instead of the exact ones. Ranked between `Full` and
+    /// `Partial` because nothing is missing — only summarized.
+    Sketched,
     /// The subscriber was evicted under the subscriber-count cap (LRU)
     /// while the session was still open; the tail may be missing.
     Partial,
@@ -207,6 +213,7 @@ impl Fidelity {
     pub fn label(&self) -> &'static str {
         match self {
             Fidelity::Full => "full",
+            Fidelity::Sketched => "sketched",
             Fidelity::Partial => "partial",
             Fidelity::Shed => "shed",
         }
@@ -235,7 +242,9 @@ pub struct SessionAssessment {
     /// True when the session was force-closed (its subscriber was
     /// evicted or shed under memory pressure), so the tail may be
     /// missing. Kept in sync with `fidelity`: `partial` is exactly
-    /// `fidelity != Fidelity::Full`.
+    /// `fidelity >= Fidelity::Partial` — `Sketched` sessions saw every
+    /// chunk (nothing is missing, only summarized) and stay
+    /// `partial: false`.
     pub partial: bool,
     /// The degraded-mode tier this assessment was produced under (see
     /// [`Fidelity`]). Always agrees with `partial`.
@@ -247,7 +256,7 @@ impl SessionAssessment {
     /// legacy `partial` flag consistent.
     pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
         self.fidelity = fidelity;
-        self.partial = fidelity != Fidelity::Full;
+        self.partial = fidelity >= Fidelity::Partial;
         self
     }
 }

@@ -42,6 +42,7 @@ use vqoe_telemetry::{
     RobustReassembler, StreamHealth, WeblogEntry,
 };
 
+use crate::digest::{claim_digest, install_digest_sink, DigestSink, SessionDigest};
 use crate::engine::{shard_of, EngineConfig};
 use crate::metrics::PipelineMetrics;
 use crate::monitor::{Fidelity, QoeMonitor, SessionAssessment};
@@ -548,10 +549,10 @@ impl OnlineAssessor {
                     break;
                 }
             }
-            self.shards[shard].per_subscriber.insert(
-                entry.subscriber_id,
-                RobustReassembler::new(self.monitor.reassembly, self.ingest_cfg),
-            );
+            let machine = self.new_machine();
+            self.shards[shard]
+                .per_subscriber
+                .insert(entry.subscriber_id, machine);
             self.tracked += 1;
             if let Some(m) = &self.metrics {
                 m.open_subscribers.set(self.tracked as i64);
@@ -583,7 +584,14 @@ impl OnlineAssessor {
                 m.observe_health_delta(&health_before, &health_after);
                 m.observe_kind_delta(&kinds_before, &self.anomalies.kinds());
                 m.tracked_bytes.set(self.tracked_bytes as i64);
+                m.bytes_per_subscriber
+                    .set((self.tracked_bytes / self.tracked.max(1) as u64) as i64);
             }
+            // Claim each emitted session's sealed digest (FIFO with the
+            // reassembler's seal calls) while the machine is still
+            // borrowed; spilled sessions are assessed from it below.
+            let digests: Vec<Option<SessionDigest>> =
+                sessions.iter().map(|s| claim_digest(machine, s)).collect();
             if before != after {
                 if let Some(w) = before {
                     self.lru.remove(&(w, entry.subscriber_id));
@@ -592,7 +600,12 @@ impl OnlineAssessor {
                     self.lru.insert((w, entry.subscriber_id));
                 }
             }
-            out.extend(sessions.iter().map(|s| self.assess(s, Fidelity::Full)));
+            out.extend(
+                sessions
+                    .iter()
+                    .zip(&digests)
+                    .map(|(s, d)| self.assess_with_digest(s, Fidelity::Full, d.as_ref())),
+            );
         }
         // A subscriber that outgrew its own budget is force-finalized
         // immediately: its buffered remains are assessed at the `Shed`
@@ -727,6 +740,10 @@ impl OnlineAssessor {
             _ => shard_state.health.sessions_shed += 1,
         }
         let sessions = machine.flush();
+        let digests: Vec<Option<SessionDigest>> = sessions
+            .iter()
+            .map(|s| claim_digest(&mut machine, s))
+            .collect();
         shard_state.health.sessions_partial += sessions.len() as u64;
         self.shed.record(ShedEvent {
             subscriber_id: id,
@@ -748,8 +765,14 @@ impl OnlineAssessor {
             m.shed_reason(reason).inc();
             m.open_subscribers.set(self.tracked as i64);
             m.tracked_bytes.set(self.tracked_bytes as i64);
+            m.bytes_per_subscriber
+                .set((self.tracked_bytes / self.tracked.max(1) as u64) as i64);
         }
-        sessions.iter().map(|s| self.assess(s, fidelity)).collect()
+        sessions
+            .iter()
+            .zip(&digests)
+            .map(|(s, d)| self.assess_with_digest(s, fidelity, d.as_ref()))
+            .collect()
     }
 
     fn drain(&mut self) -> Vec<SessionAssessment> {
@@ -759,6 +782,7 @@ impl OnlineAssessor {
         if let Some(m) = &self.metrics {
             m.open_subscribers.set(0);
             m.tracked_bytes.set(0);
+            m.bytes_per_subscriber.set(0);
         }
         // Subscriber-id order across all shards, exactly as the
         // pre-shard single map walked it (and exactly the order the
@@ -771,20 +795,51 @@ impl OnlineAssessor {
         machines.sort_by_key(|&(id, _)| id);
         machines
             .into_iter()
-            .flat_map(|(_, m)| m.finish())
-            .map(|s| self.assess(&s, Fidelity::Full))
+            .flat_map(|(_, mut m)| {
+                let sessions = m.flush();
+                let digests: Vec<Option<SessionDigest>> =
+                    sessions.iter().map(|s| claim_digest(&mut m, s)).collect();
+                sessions.into_iter().zip(digests)
+            })
+            .map(|(s, d)| self.assess_with_digest(&s, Fidelity::Full, d.as_ref()))
             .collect()
     }
 
-    fn assess(&self, session: &ReassembledSession, fidelity: Fidelity) -> SessionAssessment {
+    /// Build one subscriber's hardened reassembler with the streaming
+    /// digest sink installed (sketched-tier coverage from record one).
+    fn new_machine(&self) -> RobustReassembler {
+        let mut machine = RobustReassembler::new(self.monitor.reassembly, self.ingest_cfg);
+        install_digest_sink(&mut machine, *self.monitor.switch_model.scoring());
+        machine
+    }
+
+    fn assess_with_digest(
+        &self,
+        session: &ReassembledSession,
+        fidelity: Fidelity,
+        digest: Option<&SessionDigest>,
+    ) -> SessionAssessment {
         let obs = SessionObs::from_reassembled(session);
-        let a = self
-            .monitor
-            .subscriptions()
-            .assess_session(SessionView::over(&obs, session))
-            .with_fidelity(fidelity);
+        let view = SessionView::over(&obs, session);
+        let subs = self.monitor.subscriptions();
+        // A session whose chunks spilled past the exactness cap is at
+        // best `Sketched`; eviction/shedding tiers dominate when both
+        // degradations apply.
+        let effective = if session.spilled_chunks > 0 {
+            fidelity.max(Fidelity::Sketched)
+        } else {
+            fidelity
+        };
+        let a = match digest {
+            Some(d) => subs.assess_session_sketched(view, d),
+            None => subs.assess_session(view),
+        }
+        .with_fidelity(effective);
         if let Some(m) = &self.metrics {
             m.observe_session(session, &a);
+            if session.spilled_chunks > 0 {
+                m.sessions_sketched.inc();
+            }
         }
         a
     }
@@ -842,7 +897,7 @@ impl OnlineAssessor {
         monitor: QoeMonitor,
         ck: &OnlineCheckpoint,
     ) -> Result<OnlineAssessor, RestoreError> {
-        if ck.version != CHECKPOINT_VERSION {
+        if ck.version == 0 || ck.version > CHECKPOINT_VERSION {
             return Err(RestoreError::Version(ck.version));
         }
         if ck.shards.is_empty() {
@@ -860,7 +915,18 @@ impl OnlineAssessor {
                         "subscriber routed to the wrong shard",
                     ));
                 }
-                let machine = RobustReassembler::from_state(state.clone());
+                let mut machine = RobustReassembler::from_state(state.clone());
+                // Rehydrate the streaming digest sink: from its own
+                // snapshot when the checkpoint carried one (v2+), fresh
+                // otherwise (v1 checkpoints predate spilling, so no
+                // in-flight digest existed to lose).
+                let sink = state
+                    .inner
+                    .spill_json
+                    .as_deref()
+                    .and_then(DigestSink::from_json)
+                    .unwrap_or_else(|| DigestSink::new(*monitor.switch_model.scoring()));
+                machine.attach_spill(Box::new(sink));
                 tracked_bytes += machine.tracked_cost();
                 if per_subscriber.insert(*id, machine).is_some() {
                     return Err(RestoreError::Corrupt("duplicate subscriber in one shard"));
@@ -907,8 +973,12 @@ impl OnlineAssessor {
     }
 }
 
-/// Format version stamped into every [`OnlineCheckpoint`].
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Format version stamped into every [`OnlineCheckpoint`]. Version 2
+/// adds the per-machine spill state (exactness-cap counters plus the
+/// serialized digest sink); version-1 checkpoints still restore — their
+/// machines simply start with fresh sinks, which is exact because
+/// nothing had spilled when they were written.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// One shard's checkpointed state: its health counters and every
 /// tracked subscriber's reassembler, in subscriber-id order.

@@ -34,7 +34,15 @@ impl StallModel {
 
     /// Classify one session from its network-visible observations.
     pub fn predict(&self, obs: &SessionObs) -> StallClass {
-        let row = self.project(&stall_features(obs));
+        self.predict_from_features(&stall_features(obs))
+    }
+
+    /// Classify from an already-built 70-dim stall feature vector —
+    /// exact ([`stall_features`]) or approximate (the streaming
+    /// `Fidelity::Sketched` path, which cannot afford the buffered
+    /// [`SessionObs`] the exact builder needs).
+    pub fn predict_from_features(&self, full: &[f64]) -> StallClass {
+        let row = self.project(full);
         match self.forest.predict(&row) {
             0 => StallClass::NoStalls,
             1 => StallClass::Mild,

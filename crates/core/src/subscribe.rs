@@ -41,6 +41,7 @@ use vqoe_obs::{Trace, TraceConfig};
 use vqoe_telemetry::{reassemble_subscriber, BinaryCorpus, BinlogError, IngestConfig, WeblogEntry};
 
 use crate::avgrep_pipeline::RepresentationModel;
+use crate::digest::SessionDigest;
 use crate::engine::{AssessmentEngine, EngineConfig};
 use crate::metrics::PipelineMetrics;
 use crate::monitor::{Fidelity, QoeMonitor, SessionAssessment};
@@ -85,6 +86,17 @@ pub trait Subscription: Send + Sync {
 
     /// Observe one session and return a verdict.
     fn deliver(&self, view: &SessionView<'_>) -> Signal;
+
+    /// Observe one *sketched* session: the view's [`SessionObs`] holds
+    /// only the exact prefix, while `digest` summarizes every chunk
+    /// (running moments, quantile sketches, streaming switch score).
+    /// Detectors that can assess from the digest should override this;
+    /// the default falls back to the exact-prefix view, which is still
+    /// a valid (if truncated) observation of the session.
+    fn deliver_sketched(&self, view: &SessionView<'_>, digest: &SessionDigest) -> Signal {
+        let _ = digest;
+        self.deliver(view)
+    }
 }
 
 impl<S: Subscription + ?Sized> Subscription for &S {
@@ -94,6 +106,10 @@ impl<S: Subscription + ?Sized> Subscription for &S {
 
     fn deliver(&self, view: &SessionView<'_>) -> Signal {
         (**self).deliver(view)
+    }
+
+    fn deliver_sketched(&self, view: &SessionView<'_>, digest: &SessionDigest) -> Signal {
+        (**self).deliver_sketched(view, digest)
     }
 }
 
@@ -119,6 +135,13 @@ impl Subscription for StallSubscription<'_> {
     fn deliver(&self, view: &SessionView<'_>) -> Signal {
         Signal::Stall(self.model.predict(view.obs))
     }
+
+    fn deliver_sketched(&self, _view: &SessionView<'_>, digest: &SessionDigest) -> Signal {
+        Signal::Stall(
+            self.model
+                .predict_from_features(&digest.features.stall_features_approx()),
+        )
+    }
 }
 
 /// The §4.2 average-representation detector as a subscription (borrows
@@ -143,6 +166,13 @@ impl Subscription for RepresentationSubscription<'_> {
     fn deliver(&self, view: &SessionView<'_>) -> Signal {
         Signal::Representation(self.model.predict(view.obs))
     }
+
+    fn deliver_sketched(&self, _view: &SessionView<'_>, digest: &SessionDigest) -> Signal {
+        Signal::Representation(
+            self.model
+                .predict_from_features(&digest.features.representation_features_approx()),
+        )
+    }
 }
 
 /// The §4.3 switch detector as a subscription (borrows the frozen
@@ -166,6 +196,17 @@ impl Subscription for SwitchSubscription<'_> {
 
     fn deliver(&self, view: &SessionView<'_>) -> Signal {
         let score = self.model.score(view.obs);
+        Signal::Switch {
+            detected: score > self.model.threshold(),
+            score,
+        }
+    }
+
+    fn deliver_sketched(&self, _view: &SessionView<'_>, digest: &SessionDigest) -> Signal {
+        // The digest's streaming CUSUM was configured from this model's
+        // frozen scoring parameters at sink-install time, so the score
+        // answers the same question against the same threshold.
+        let score = digest.switch.score();
         Signal::Switch {
             detected: score > self.model.threshold(),
             score,
@@ -246,13 +287,40 @@ impl<'m> SubscriptionSet<'m> {
         view: SessionView<'_>,
         mut observe: impl FnMut(usize, &'static str),
     ) -> SessionAssessment {
+        self.fold_signals(view, view.obs.len(), |sub, idx| {
+            observe(idx, sub.name());
+            sub.deliver(&view)
+        })
+    }
+
+    /// The sketched-tier fold: every subscription is delivered the
+    /// exact-prefix view *plus* the whole-session [`SessionDigest`]
+    /// (via [`Subscription::deliver_sketched`]), and the chunk count
+    /// comes from the digest — which saw every chunk — rather than the
+    /// truncated view. Callers tag the result `Fidelity::Sketched` (or
+    /// worse) with [`SessionAssessment::with_fidelity`].
+    pub fn assess_session_sketched(
+        &self,
+        view: SessionView<'_>,
+        digest: &SessionDigest,
+    ) -> SessionAssessment {
+        self.fold_signals(view, digest.chunk_count() as usize, |sub, _| {
+            sub.deliver_sketched(&view, digest)
+        })
+    }
+
+    fn fold_signals(
+        &self,
+        view: SessionView<'_>,
+        chunk_count: usize,
+        mut deliver: impl FnMut(&(dyn Subscription + 'm), usize) -> Signal,
+    ) -> SessionAssessment {
         let mut stall = StallClass::NoStalls;
         let mut representation = RqClass::Ld;
         let mut has_quality_switches = false;
         let mut switch_score = 0.0;
         for (idx, sub) in self.subs.iter().enumerate() {
-            observe(idx, sub.name());
-            match sub.deliver(&view) {
+            match deliver(sub.as_ref(), idx) {
                 Signal::Stall(c) => stall = c,
                 Signal::Representation(c) => representation = c,
                 Signal::Switch { detected, score } => {
@@ -265,7 +333,7 @@ impl<'m> SubscriptionSet<'m> {
         SessionAssessment {
             start: view.start,
             end: view.end,
-            chunk_count: view.obs.len(),
+            chunk_count,
             stall,
             representation,
             has_quality_switches,

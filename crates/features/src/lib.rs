@@ -26,6 +26,10 @@
 //! * [`view`] — the per-session fan-out payload ([`SessionView`]): one
 //!   shared, borrowed [`SessionObs`] plus the recovered boundaries,
 //!   delivered identically to every subscribed detector.
+//! * [`streaming`] — the bounded-memory fold of the same feature sets
+//!   ([`StreamingSessionState`]): running moments + deterministic
+//!   quantile sketches per series, emitted as approximate 70/210-dim
+//!   vectors for the `Fidelity::Sketched` assessment tier (ISSUE 10).
 //! * [`matrix`] — assembly of labelled [`vqoe_ml::Dataset`]s from
 //!   session collections.
 //! * [`obfuscation`] — provider-side shape countermeasures (padding,
@@ -58,6 +62,7 @@ pub mod obfuscation;
 pub mod obs;
 pub mod representation;
 pub mod stall;
+pub mod streaming;
 pub mod view;
 
 pub use labels::{rq_label, stall_label, variation_label, RqClass, StallClass, VariationClass};
@@ -65,4 +70,5 @@ pub use matrix::{build_representation_dataset, build_stall_dataset};
 pub use obs::{ChunkObs, SessionObs};
 pub use representation::{representation_feature_names, representation_features};
 pub use stall::{stall_feature_names, stall_features};
+pub use streaming::{SeriesState, StreamingSessionState};
 pub use view::SessionView;

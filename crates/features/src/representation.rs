@@ -17,7 +17,7 @@
 
 use crate::obs::SessionObs;
 use crate::MISSING_STAT;
-use vqoe_stats::quantiles::quantile_sorted;
+use vqoe_stats::quantiles::try_quantile_sorted;
 use vqoe_stats::Summary;
 
 /// The fifteen §4.2 statistics, in a fixed order.
@@ -89,13 +89,10 @@ fn fifteen_stats(series: &[f64]) -> [f64; 15] {
     }
     let mut sorted: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
     sorted.sort_by(f64::total_cmp);
-    let q = |p: f64| {
-        if sorted.is_empty() {
-            0.0
-        } else {
-            quantile_sorted(&sorted, p)
-        }
-    };
+    // `try_` form so an unexpectedly empty series can never alias a
+    // real 0.0 percentile; the empty-series → 0.0 branch is the
+    // documented boundary policy above, not a sentinel collapse.
+    let q = |p: f64| try_quantile_sorted(&sorted, p).unwrap_or(0.0);
     [
         s.min,
         s.mean,

@@ -31,6 +31,7 @@ pub mod histogram;
 pub mod info;
 pub mod moments;
 pub mod quantiles;
+pub mod sketch;
 
 pub use binning::{BinningStrategy, Discretizer};
 pub use correlation::{pearson, spearman};
@@ -42,6 +43,7 @@ pub use quantiles::{
     median, quantile, quantile_sorted, quantiles, try_median, try_quantile, try_quantile_sorted,
     try_quantiles,
 };
+pub use sketch::{QuantileSketch, SKETCH_CAPACITY};
 
 /// A compact descriptive summary of a numeric sample.
 ///

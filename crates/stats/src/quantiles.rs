@@ -12,11 +12,16 @@
 //! A quantile of an empty (or all-non-finite) sample is mathematically
 //! undefined. The `try_*` functions are the honest core: they return
 //! `None` in that case and `Some(v)` otherwise. The plain functions are
-//! convenience wrappers that collapse `None` to `0.0` — callers for whom
-//! `0.0` is a *possible real value* (the feature-matrix builders) must
-//! use the `try_*` forms and choose their own sentinel, otherwise a
-//! missing metric is indistinguishable from a genuinely zero one (see
-//! `vqoe_features::MISSING_STAT`).
+//! **display-only** convenience wrappers that collapse `None` to `0.0` —
+//! report tables, log lines, human-facing summaries. Callers for whom
+//! `0.0` is a *possible real value* (the feature-matrix builders, every
+//! assessment path) must use the `try_*` forms and choose their own
+//! sentinel, otherwise a missing metric is indistinguishable from a
+//! genuinely zero one (see `vqoe_features::MISSING_STAT`). As of the
+//! ISSUE-10 sweep the only plain-form callers left inside the workspace
+//! either run on provably non-empty finite slices
+//! ([`crate::Summary::from_slice`], the discretizer's cut picker) or are
+//! display formatting.
 
 /// Quantile `q ∈ [0, 1]` of `data` (unsorted; non-finite values
 /// ignored), or `None` when no finite value exists. `q` is clamped to

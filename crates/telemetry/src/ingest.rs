@@ -389,6 +389,25 @@ impl RobustReassembler {
         }
     }
 
+    /// Attach a streaming receiver for entries past the exactness cap
+    /// (see [`crate::reassembly::SpillSink`]); forwarded to the inner
+    /// boundary machine.
+    pub fn with_spill(mut self, sink: Box<dyn crate::reassembly::SpillSink>) -> Self {
+        self.inner.attach_spill(sink);
+        self
+    }
+
+    /// In-place form of [`RobustReassembler::with_spill`].
+    pub fn attach_spill(&mut self, sink: Box<dyn crate::reassembly::SpillSink>) {
+        self.inner.attach_spill(sink);
+    }
+
+    /// Mutable access to the attached spill sink (the sketched
+    /// assessment path downcasts it to claim sealed digests).
+    pub fn spill_sink_mut(&mut self) -> Option<&mut (dyn crate::reassembly::SpillSink + '_)> {
+        self.inner.spill_sink_mut()
+    }
+
     /// Newest timestamp seen (the subscriber's activity clock; drives
     /// LRU eviction in the online assessor).
     pub fn watermark(&self) -> Option<Instant> {
@@ -499,8 +518,10 @@ impl RobustReassembler {
             self.buffered_cost = self.buffered_cost.saturating_sub(e.tracked_cost());
             done.extend(self.feed_inner(&e));
         }
-        let machine = std::mem::replace(&mut self.inner, StreamReassembler::new(self.reassembly));
-        done.extend(machine.finish());
+        // In place (not a machine swap): the attached spill sink — and
+        // any sealed digests not yet claimed by the assessor — must
+        // survive the flush.
+        done.extend(self.inner.finish_in_place());
         self.recent.clear();
         self.watermark = None;
         self.buffered_cost = 0;

@@ -73,8 +73,8 @@ pub use ingest::{
     IngestAnomaly, IngestConfig, ReassemblerState, RobustReassembler, StreamHealth,
 };
 pub use reassembly::{
-    reassemble_subscriber, ReassembledSession, ReassemblyConfig, StreamReassembler,
-    StreamReassemblerState,
+    reassemble_subscriber, ReassembledSession, ReassemblyConfig, SpillSink, StreamReassembler,
+    StreamReassemblerState, EXACT_ENTRY_CAP, SPILL_STATE_COST_BYTES,
 };
 pub use uri::{PlaybackReport, VideoPlaybackParams};
 pub use weblog::{EntryKind, WeblogEntry, RECORD_OVERHEAD_BYTES};

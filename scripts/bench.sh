@@ -19,6 +19,8 @@
 #   BENCH_pr8.json               machine-readable record (replay_speedup)
 #   results/trace-overhead.txt   session-tracing cost report
 #   BENCH_pr9.json               machine-readable record (overhead_pct)
+#   results/subscriber-scaling.txt  100k-1M streaming-state ladder
+#   BENCH_pr10.json              machine-readable record (bytes/subscriber)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -72,6 +74,16 @@ echo "==> repro trace-overhead (quick mode)"
 
 echo "==> BENCH_pr9.json"
 cat BENCH_pr9.json
+
+# The only experiment run at its full harness point: the ladder IS the
+# deliverable (100k-1M concurrent subscribers; a few minutes). The
+# training context still builds at smoke scale via --sessions.
+echo "==> repro subscriber-scaling (full 100k-1M ladder)"
+./target/release/repro subscriber-scaling --sessions 800 \
+  --bench-json BENCH_pr10.json --out results
+
+echo "==> BENCH_pr10.json"
+cat BENCH_pr10.json
 
 if [[ "$FULL" == "1" ]]; then
   echo "==> cargo bench -p vqoe-bench (Criterion)"

@@ -44,6 +44,19 @@ if [[ "${VQOE_SOAK:-0}" == "1" ]]; then
     printf "trace-overhead smoke: %.2f%% (< 2%% budget)\n", o
   }'
   rm -f BENCH_smoke_pr9.json
+
+  echo "==> repro subscriber-scaling smoke (10k concurrent subscribers)"
+  ./target/release/repro subscriber-scaling --smoke \
+    --bench-json BENCH_smoke_pr10.json >/dev/null
+  # Per-subscriber memory must stay a small constant: the 10k point has
+  # to land in the same band the 100k-1M ladder reports.
+  bps=$(sed -n 's/.*"bytes_per_subscriber": \([0-9]*\).*/\1/p' BENCH_smoke_pr10.json | head -1)
+  if [[ -z "$bps" || "$bps" -gt 16384 ]]; then
+    echo "subscriber-scaling smoke: bytes/subscriber '$bps' breaches the 16 KiB bound"
+    exit 1
+  fi
+  echo "subscriber-scaling smoke: ${bps} bytes/subscriber (< 16 KiB bound)"
+  rm -f BENCH_smoke_pr10.json
 fi
 
 echo "all gates passed"

@@ -12,8 +12,8 @@
 use std::sync::OnceLock;
 
 use vqoe_core::{
-    EncryptedEvalConfig, EncryptedWorld, OnlineAssessor, QoeMonitor, SessionAssessment,
-    TrainingConfig,
+    BudgetConfig, EncryptedEvalConfig, EncryptedWorld, OnlineAssessor, QoeMonitor,
+    SessionAssessment, TrainingConfig,
 };
 use vqoe_telemetry::{
     apply_chaos, robust_reassemble_subscriber, validate_entry, ChaosConfig, IngestConfig,
@@ -219,6 +219,52 @@ fn zero_faults_multi_subscriber_matches_batch_per_subscriber() {
     assert_eq!(streamed, batch);
     assert_eq!(health.entries_quarantined, 0);
     assert_eq!(health.sessions_evicted, 0);
+}
+
+#[test]
+fn tracked_bytes_returns_to_zero_when_every_subscriber_closes() {
+    // Byte-accounting drift regression (ISSUE 10): `tracked_bytes` is
+    // maintained by deltas around every push and a subtraction at every
+    // force-finalize — never recomputed. A one-byte leak anywhere
+    // (quarantine, dedup memory, spill-state cost, eviction) therefore
+    // accumulates. With a global budget of one byte, *every* ingest
+    // call ends by shedding every tracked subscriber through the
+    // subtraction path, so any drift surfaces as a nonzero residue.
+    let entries = multi_subscriber_tap(3, 2, 800);
+    for (name, cfg) in fault_ops() {
+        let (faulted, _) = apply_chaos(&entries, &cfg, 21);
+        let mut online = OnlineAssessor::new(monitor().clone()).with_budget(BudgetConfig {
+            global_bytes: 1,
+            ..BudgetConfig::default()
+        });
+        for e in &faulted {
+            online.ingest(e);
+            assert_eq!(
+                online.open_subscribers(),
+                0,
+                "[{name}] a 1-byte budget must shed every subscriber"
+            );
+            assert_eq!(
+                online.tracked_bytes(),
+                0,
+                "[{name}] tracked_bytes drifted with no subscriber open"
+            );
+        }
+        assert_eq!(online.peak_tracked_bytes() > 0, !faulted.is_empty());
+    }
+
+    // Composed faults under a loose budget: the invariant holds at the
+    // *end* too, once the final sheds close the remaining subscribers.
+    let (faulted, _) = apply_chaos(&entries, &ChaosConfig::uniform(0.3), 22);
+    let mut online = OnlineAssessor::new(monitor().clone()).with_budget(BudgetConfig {
+        global_bytes: 1,
+        ..BudgetConfig::default()
+    });
+    for e in &faulted {
+        online.ingest(e);
+    }
+    assert_eq!(online.open_subscribers(), 0);
+    assert_eq!(online.tracked_bytes(), 0);
 }
 
 #[test]
